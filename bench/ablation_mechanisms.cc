@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Mechanism ablation (extension beyond the paper's figures): Garibaldi
+ * couples two mechanisms — selective instruction protection (§4.2) and
+ * pairwise data prefetch (§4.3).  This bench isolates each on top of
+ * Mockingjay, answering which mechanism carries the benefit and
+ * whether they compose.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "sim/metrics.hh"
+
+using namespace garibaldi;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Ablation: protection-only vs prefetch-only vs both");
+    BenchArgs::addTo(args);
+    args.parse(argc, argv);
+    BenchArgs b = BenchArgs::from(args);
+
+    printBenchHeader("Ablation",
+                     "Garibaldi mechanism isolation on Mockingjay "
+                     "(speedup vs LRU; ifetch stalls vs Mockingjay)",
+                     b.config(), b);
+
+    struct Variant
+    {
+        const char *label;
+        bool garibaldi;
+        bool protection;
+        bool prefetch;
+    };
+    const std::vector<Variant> variants = {
+        {"mockingjay (no garibaldi)", false, false, false},
+        {"+ prefetch only", true, false, true},
+        {"+ protection only", true, true, false},
+        {"+ both (garibaldi)", true, true, true},
+    };
+
+    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
+    TablePrinter t({"variant", "speedup_vs_lru", "ifetch_vs_mj",
+                    "llc_instr_missrate"});
+    std::vector<std::vector<double>> ratios(variants.size());
+
+    for (const auto &w : benchServerSet(b.full)) {
+        Mix m = homogeneousMix(w, b.cores);
+        double lru = ctx.runPolicy(PolicyKind::LRU, false, m)
+                         .ipcHarmonicMean();
+        double mj_ifetch = 0;
+        std::printf("--- %s ---\n", w.c_str());
+        TablePrinter wt({"variant", "speedup_vs_lru", "ifetch_vs_mj",
+                         "llc_instr_missrate"});
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            SystemConfig cfg = configWithPolicy(
+                ctx.baseConfig(), PolicyKind::Mockingjay,
+                variants[i].garibaldi);
+            cfg.garibaldi.protectionEnabled = variants[i].protection;
+            cfg.garibaldi.prefetchEnabled = variants[i].prefetch;
+            SimResult r = ctx.run(cfg, m);
+            double ipc = r.ipcHarmonicMean();
+            double ifetch = static_cast<double>(r.ifetchStallCycles());
+            if (i == 0)
+                mj_ifetch = ifetch;
+            ratios[i].push_back(ipc / lru);
+            double instr_mr = r.mem.get("llc.instr_misses") /
+                              std::max(1.0,
+                                       r.mem.get(
+                                           "llc.instr_accesses"));
+            wt.addRow({variants[i].label,
+                       TablePrinter::pct(ipc / lru - 1, 2),
+                       TablePrinter::pct(ifetch / mj_ifetch - 1, 1),
+                       TablePrinter::pct(instr_mr, 1)});
+        }
+        emitTable(wt, b.csv);
+    }
+
+    TablePrinter g({"variant", "geomean_speedup_vs_lru"});
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        g.addRow({variants[i].label,
+                  TablePrinter::pct(geometricMean(ratios[i]) - 1, 2)});
+    std::printf("--- summary ---\n");
+    emitTable(g, b.csv);
+    std::printf("Expected: protection carries most of the ifetch-stall "
+                "reduction; prefetch adds on top (Fig. 14(a): k=1 beats "
+                "k=0 by ~1.2pp in the paper); both compose.\n");
+    return 0;
+}

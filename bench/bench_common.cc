@@ -1,0 +1,69 @@
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+
+namespace garibaldi
+{
+
+void
+BenchArgs::addTo(ArgParser &args)
+{
+    args.addInt("cores", 8, "simulated cores");
+    args.addInt("warmup", 150000, "warmup instructions per core");
+    args.addInt("instr", 300000, "measured instructions per core");
+    args.addInt("seed", 1, "master seed");
+    args.addFlag("full", "full workload set / paper-scale sweep");
+    args.addFlag("csv", "emit CSV instead of aligned text");
+}
+
+BenchArgs
+BenchArgs::from(const ArgParser &args)
+{
+    BenchArgs b;
+    b.cores = static_cast<std::uint32_t>(args.getInt("cores"));
+    b.warmup = static_cast<std::uint64_t>(args.getInt("warmup"));
+    b.detailed = static_cast<std::uint64_t>(args.getInt("instr"));
+    b.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    b.full = args.getFlag("full");
+    b.csv = args.getFlag("csv");
+    return b;
+}
+
+SystemConfig
+BenchArgs::config() const
+{
+    SystemConfig cfg = defaultConfig(cores);
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<std::string>
+benchServerSet(bool full)
+{
+    if (full)
+        return serverWorkloadNames();
+    return {"smallbank", "tpcc", "voter", "kafka", "tomcat",
+            "verilator"};
+}
+
+void
+printBenchHeader(const std::string &artifact, const std::string &what,
+                 const SystemConfig &cfg, const BenchArgs &args)
+{
+    std::printf("=== %s: %s ===\n", artifact.c_str(), what.c_str());
+    std::printf("machine: %s | warmup %llu + detailed %llu instr/core"
+                " | seed %llu%s\n\n",
+                cfg.summary().c_str(),
+                static_cast<unsigned long long>(args.warmup),
+                static_cast<unsigned long long>(args.detailed),
+                static_cast<unsigned long long>(args.seed),
+                args.full ? " | FULL" : "");
+}
+
+void
+emitTable(const TablePrinter &table, bool csv)
+{
+    std::printf("%s\n", (csv ? table.toCsv() : table.toText()).c_str());
+}
+
+} // namespace garibaldi

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction benches: common
+ * CLI flags (cores, window sizes, --full, --csv), representative
+ * workload subsets for the sweep figures, and header printing.
+ */
+
+#ifndef GARIBALDI_BENCH_BENCH_COMMON_HH
+#define GARIBALDI_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table_printer.hh"
+#include "sim/experiment.hh"
+#include "workloads/catalog.hh"
+
+namespace garibaldi
+{
+
+/** Parsed common bench options. */
+struct BenchArgs
+{
+    std::uint32_t cores = 8;
+    std::uint64_t warmup = 100000;
+    std::uint64_t detailed = 200000;
+    std::uint64_t seed = 1;
+    bool full = false;
+    bool csv = false;
+
+    /** Register the common flags on @p args. */
+    static void addTo(ArgParser &args);
+
+    /** Extract the common flags after parsing. */
+    static BenchArgs from(const ArgParser &args);
+
+    /** Base machine configuration for these settings. */
+    SystemConfig config() const;
+};
+
+/**
+ * Server workloads for sweep benches: a 6-workload representative
+ * subset by default (spanning best case, negative case and the middle
+ * of Fig. 12), all 16 with --full.
+ */
+std::vector<std::string> benchServerSet(bool full);
+
+/** Print the standard bench header. */
+void printBenchHeader(const std::string &artifact,
+                      const std::string &what, const SystemConfig &cfg,
+                      const BenchArgs &args);
+
+/** Emit a finished table in the selected format. */
+void emitTable(const TablePrinter &table, bool csv);
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 13 reproduction: instruction-fetch stall cycles and total
+ * energy, normalized to the LRU baseline, for Mockingjay with and
+ * without Garibaldi (and DRRIP/Hawkeye variants with --full).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "sim/metrics.hh"
+
+using namespace garibaldi;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Fig. 13: ifetch stall cycles and energy vs LRU");
+    BenchArgs::addTo(args);
+    args.parse(argc, argv);
+    BenchArgs b = BenchArgs::from(args);
+
+    printBenchHeader("Figure 13",
+                     "ifetch stalled cycles and energy normalized to "
+                     "LRU (negative = reduction)",
+                     b.config(), b);
+
+    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
+    std::vector<std::pair<PolicyKind, bool>> configs = {
+        {PolicyKind::Mockingjay, false},
+        {PolicyKind::Mockingjay, true},
+    };
+    if (b.full) {
+        configs.insert(configs.begin(),
+                       {{PolicyKind::DRRIP, false},
+                        {PolicyKind::DRRIP, true},
+                        {PolicyKind::Hawkeye, false},
+                        {PolicyKind::Hawkeye, true}});
+    }
+
+    std::vector<std::string> headers{"workload"};
+    for (const auto &[kind, g] : configs) {
+        std::string base = policyKindName(kind);
+        if (g)
+            base += "+g";
+        headers.push_back(base + ":ifetch");
+        headers.push_back(base + ":energy");
+    }
+    TablePrinter t(headers);
+
+    std::vector<std::vector<double>> ifetch_r(configs.size());
+    std::vector<std::vector<double>> energy_r(configs.size());
+    for (const auto &w : benchServerSet(b.full)) {
+        Mix m = homogeneousMix(w, b.cores);
+        SimResult lru = ctx.runPolicy(PolicyKind::LRU, false, m);
+        double lru_ifetch =
+            static_cast<double>(lru.ifetchStallCycles());
+        double lru_energy = computeEnergy(lru, ctx.baseConfig()).total();
+        std::vector<std::string> row{w};
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            SystemConfig cfg = configWithPolicy(
+                ctx.baseConfig(), configs[i].first, configs[i].second);
+            SimResult r = ctx.run(cfg, m);
+            double fi = r.ifetchStallCycles() / lru_ifetch - 1.0;
+            double fe = computeEnergy(r, cfg).total() / lru_energy -
+                        1.0;
+            ifetch_r[i].push_back(1.0 + fi);
+            energy_r[i].push_back(1.0 + fe);
+            row.push_back(TablePrinter::pct(fi, 1));
+            row.push_back(TablePrinter::pct(fe, 1));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> geo{"geomean"};
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        geo.push_back(
+            TablePrinter::pct(geometricMean(ifetch_r[i]) - 1, 1));
+        geo.push_back(
+            TablePrinter::pct(geometricMean(energy_r[i]) - 1, 1));
+    }
+    t.addRow(geo);
+    emitTable(t, b.csv);
+
+    std::printf("Paper's shape: Garibaldi deepens the ifetch-stall "
+                "reduction (paper: Mockingjay -9%% vs +Garibaldi -18%%) "
+                "and saves energy on most workloads (paper: -10.4%% vs "
+                "LRU; kafka/tatp are the exceptions).\n");
+    return 0;
+}

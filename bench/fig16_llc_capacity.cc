@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 16 reproduction: Mockingjay and Mockingjay+Garibaldi across LLC
+ * capacities (paper: 15-60 MB at 40 cores; here the same 0.5x-2x span
+ * around the scaled baseline), normalized to the baseline-capacity LRU.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "sim/metrics.hh"
+
+using namespace garibaldi;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Fig. 16: LLC capacity sensitivity");
+    BenchArgs::addTo(args);
+    args.parse(argc, argv);
+    BenchArgs b = BenchArgs::from(args);
+
+    printBenchHeader("Figure 16",
+                     "speedup vs baseline-capacity LRU across LLC "
+                     "sizes (12-way fixed)",
+                     b.config(), b);
+
+    // Paper points 15/30/37.5/45/60 MB => 0.5x/1x/1.25x/1.5x/2x.
+    // 1.25x breaks power-of-two sets; use 0.5/1/1.5/2 (1.5x via 18-way
+    // would change associativity, so grow sets: 0.5x, 1x, 2x + a 1.5x
+    // point through 18 ways is skipped; we add 4x with --full).
+    std::vector<std::pair<std::string, double>> capacities = {
+        {"0.5x", 0.5}, {"1x", 1.0}, {"2x", 2.0}};
+    if (b.full)
+        capacities.push_back({"4x", 4.0});
+
+    TablePrinter t({"workload", "capacity", "mockingjay",
+                    "mockingjay+g", "garibaldi_delta"});
+    for (const auto &w : benchServerSet(b.full)) {
+        // The normalization baseline: LRU at 1x.
+        ExperimentContext base_ctx(b.config(), b.warmup, b.detailed);
+        Mix m = homogeneousMix(w, b.cores);
+        double lru_base =
+            base_ctx.runPolicy(PolicyKind::LRU, false, m)
+                .ipcHarmonicMean();
+        for (const auto &[label, scale] : capacities) {
+            SystemConfig cfg = b.config();
+            cfg.llcBytesPerCore = static_cast<std::uint64_t>(
+                cfg.llcBytesPerCore * scale);
+            ExperimentContext ctx(cfg, b.warmup, b.detailed);
+            double mj = ctx.runPolicy(PolicyKind::Mockingjay, false, m)
+                            .ipcHarmonicMean() /
+                        lru_base;
+            double mjg = ctx.runPolicy(PolicyKind::Mockingjay, true, m)
+                             .ipcHarmonicMean() /
+                         lru_base;
+            t.addRow({w, label, TablePrinter::num(mj, 4),
+                      TablePrinter::num(mjg, 4),
+                      TablePrinter::pct(mjg / mj - 1, 2)});
+        }
+    }
+    emitTable(t, b.csv);
+    std::printf("Paper's shape: Mockingjay's edge shrinks as capacity "
+                "grows; Garibaldi keeps a positive delta even at large "
+                "capacities (paper: +4.6%% at 60 MB where Mockingjay "
+                "is flat).\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 17 reproduction: Mockingjay and Mockingjay+Garibaldi across LLC
+ * associativities (6/12/24/48 ways, capacity fixed), normalized to the
+ * 12-way LRU baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "sim/metrics.hh"
+
+using namespace garibaldi;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Fig. 17: LLC associativity sensitivity");
+    BenchArgs::addTo(args);
+    args.parse(argc, argv);
+    BenchArgs b = BenchArgs::from(args);
+
+    printBenchHeader("Figure 17",
+                     "speedup vs 12-way LRU across associativities "
+                     "(capacity fixed)",
+                     b.config(), b);
+
+    TablePrinter t({"workload", "ways", "mockingjay", "mockingjay+g",
+                    "garibaldi_delta"});
+    std::vector<double> delta_by_ways[4];
+    const std::vector<std::uint32_t> ways_list = {6, 12, 24, 48};
+    for (const auto &w : benchServerSet(b.full)) {
+        ExperimentContext base_ctx(b.config(), b.warmup, b.detailed);
+        Mix m = homogeneousMix(w, b.cores);
+        double lru_base =
+            base_ctx.runPolicy(PolicyKind::LRU, false, m)
+                .ipcHarmonicMean();
+        for (std::size_t i = 0; i < ways_list.size(); ++i) {
+            SystemConfig cfg = b.config();
+            cfg.llcAssoc = ways_list[i];
+            ExperimentContext ctx(cfg, b.warmup, b.detailed);
+            double mj = ctx.runPolicy(PolicyKind::Mockingjay, false, m)
+                            .ipcHarmonicMean() /
+                        lru_base;
+            double mjg = ctx.runPolicy(PolicyKind::Mockingjay, true, m)
+                             .ipcHarmonicMean() /
+                         lru_base;
+            delta_by_ways[i].push_back(mjg / mj);
+            t.addRow({w, std::to_string(ways_list[i]),
+                      TablePrinter::num(mj, 4),
+                      TablePrinter::num(mjg, 4),
+                      TablePrinter::pct(mjg / mj - 1, 2)});
+        }
+    }
+    emitTable(t, b.csv);
+    std::printf("geomean Garibaldi delta by associativity:");
+    for (std::size_t i = 0; i < ways_list.size(); ++i)
+        std::printf("  %u-way %s", ways_list[i],
+                    TablePrinter::pct(
+                        geometricMean(delta_by_ways[i]) - 1, 2)
+                        .c_str());
+    std::printf("\nPaper's shape: Garibaldi's advantage over Mockingjay "
+                "peaks at high associativity (paper: 7.1%% at 48-way) "
+                "where Mockingjay's own gain is smallest.\n");
+    return 0;
+}

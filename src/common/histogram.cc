@@ -1,0 +1,86 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : width(bucket_width), counts(num_buckets + 1, 0)
+{
+    if (bucket_width == 0 || num_buckets == 0)
+        panic("Histogram requires non-zero geometry");
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t idx = static_cast<std::size_t>(value / width);
+    if (idx >= counts.size() - 1)
+        idx = counts.size() - 1;
+    counts[idx] += weight;
+    total += weight;
+    sum += static_cast<double>(value) * weight;
+    maxSeen = std::max(maxSeen, value);
+}
+
+double
+Histogram::mean() const
+{
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (total == 0)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(p * static_cast<double>(total));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        running += counts[i];
+        if (running > target)
+            return bucketLow(i);
+    }
+    return bucketLow(counts.size() - 1);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    total = 0;
+    sum = 0;
+    maxSeen = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.width != width || other.counts.size() != counts.size())
+        panic("Histogram::merge geometry mismatch");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    sum += other.sum;
+    maxSeen = std::max(maxSeen, other.maxSeen);
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << total << " mean=" << mean() << " p50=" << percentile(0.5)
+       << " p90=" << percentile(0.9) << " max=" << maxSeen;
+    return os.str();
+}
+
+} // namespace garibaldi

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Value histogram with linear buckets plus exact mean tracking, used for
+ * reuse-distance and stall-length distributions (Fig. 3 reproduction).
+ */
+
+#ifndef GARIBALDI_COMMON_HISTOGRAM_HH
+#define GARIBALDI_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace garibaldi
+{
+
+/**
+ * Accumulates samples into fixed-width buckets; values beyond the last
+ * bucket land in an overflow bucket.  Also tracks exact sum/count/max so
+ * means are not quantized.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each linear bucket (> 0)
+     * @param num_buckets number of buckets before overflow
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Arithmetic mean of samples (0 when empty). */
+    double mean() const;
+
+    /** Largest sample seen (0 when empty). */
+    std::uint64_t maxValue() const { return maxSeen; }
+
+    /** Smallest value with cumulative probability >= p (p in [0,1]). */
+    std::uint64_t percentile(double p) const;
+
+    /** Bucket counts including the trailing overflow bucket. */
+    const std::vector<std::uint64_t> &buckets() const { return counts; }
+
+    /** Lower edge of bucket @p i. */
+    std::uint64_t bucketLow(std::size_t i) const { return i * width; }
+
+    /** Reset all state. */
+    void clear();
+
+    /** Merge another histogram with identical geometry. */
+    void merge(const Histogram &other);
+
+    /** One-line summary, for debugging and bench footers. */
+    std::string summary() const;
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> counts; // last bucket = overflow
+    std::uint64_t total = 0;
+    double sum = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_HISTOGRAM_HH

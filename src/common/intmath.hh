@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the cache geometry code.
+ */
+
+#ifndef GARIBALDI_COMMON_INTMATH_HH
+#define GARIBALDI_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Mix the bits of @p x (SplitMix64 finalizer).  Used to build hashed
+ * table indexes that spread structured addresses uniformly.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Runtime check that a structure size is a power of two. */
+inline void
+checkPowerOf2(std::uint64_t v, const char *what)
+{
+    if (!isPowerOf2(v))
+        fatal(what, " must be a power of two, got ", v);
+}
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_INTMATH_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal gem5-flavored logging/termination helpers.
+ *
+ * panic(): a simulator bug — something that must never happen regardless
+ * of user input; aborts so a core dump / debugger can be attached.
+ * fatal(): the user's fault (bad configuration, invalid arguments);
+ * exits cleanly with an error code.
+ * warn()/inform(): status messages that never stop the simulation.
+ */
+
+#ifndef GARIBALDI_COMMON_LOGGING_HH
+#define GARIBALDI_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace garibaldi
+{
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: internal invariant violated (simulator bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/** Exit with a message: unusable user configuration or input. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stderr, "info: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_LOGGING_HH

@@ -1,0 +1,150 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state(0), inc((stream << 1) | 1)
+{
+    next();
+    state += seed;
+    next();
+}
+
+std::uint32_t
+Pcg32::next()
+{
+    std::uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Lemire's nearly-divisionless method.
+    std::uint64_t m = std::uint64_t{next()} * bound;
+    std::uint32_t l = static_cast<std::uint32_t>(m);
+    if (l < bound) {
+        std::uint32_t t = -bound % bound;
+        while (l < t) {
+            m = std::uint64_t{next()} * bound;
+            l = static_cast<std::uint32_t>(m);
+        }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+}
+
+double
+Pcg32::nextDouble()
+{
+    return next() * (1.0 / 4294967296.0);
+}
+
+bool
+Pcg32::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Pcg32::next64()
+{
+    return (std::uint64_t{next()} << 32) | next();
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n_, double alpha_)
+    : n(n_), alpha(alpha_)
+{
+    if (n == 0)
+        panic("ZipfSampler population must be > 0");
+    if (alpha < 0)
+        panic("ZipfSampler alpha must be >= 0");
+    // Rejection-inversion setup (works for any alpha >= 0, alpha != 1
+    // handled via the generalized harmonic integral; alpha == 1 uses
+    // logarithms).
+    hx0 = h(0.5) + 1.0;
+    hxn = h(n + 0.5);
+    s = 2.0 - hInv(h(1.5) - std::pow(1.0, -alpha));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    if (alpha == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - alpha) - 1.0) / (1.0 - alpha);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    if (alpha == 1.0)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - alpha), 1.0 / (1.0 - alpha));
+}
+
+std::uint64_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    if (alpha == 0.0 || n == 1)
+        return rng.nextBounded(static_cast<std::uint32_t>(
+            n > 0xffffffffULL ? 0xffffffffULL : n));
+    while (true) {
+        double u = hxn + rng.nextDouble() * (hx0 - hxn);
+        double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        if (k - x <= s ||
+            u >= h(k + 0.5) - std::pow(static_cast<double>(k), -alpha)) {
+            return k - 1; // ranks are 0-based externally
+        }
+    }
+}
+
+std::uint64_t
+feistelPermute(std::uint64_t x, std::uint64_t n, std::uint64_t key)
+{
+    if (n <= 1)
+        return 0;
+    // Cycle-walking Feistel network over the smallest even-bit domain
+    // covering n.
+    unsigned bits = ceilLog2(n);
+    if (bits & 1)
+        ++bits;
+    unsigned half = bits / 2;
+    std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+    std::uint64_t y = x;
+    do {
+        std::uint64_t l = y >> half;
+        std::uint64_t r = y & mask;
+        for (int round = 0; round < 4; ++round) {
+            std::uint64_t f =
+                mix64(r ^ key ^ (std::uint64_t{0x9e37} << round)) & mask;
+            std::uint64_t nl = r;
+            r = (l ^ f) & mask;
+            l = nl;
+        }
+        y = (l << half) | r;
+    } while (y >= n);
+    return y;
+}
+
+} // namespace garibaldi

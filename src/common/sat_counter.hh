@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Saturating counter, the workhorse of branch predictors, SHiP/Hawkeye
+ * predictors and the Garibaldi pair-table miss-cost and sctr fields.
+ */
+
+#ifndef GARIBALDI_COMMON_SAT_COUNTER_HH
+#define GARIBALDI_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+/**
+ * An n-bit unsigned saturating counter.  Increments stick at 2^n - 1,
+ * decrements stick at 0.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits counter width in bits (1..16)
+     * @param initial initial value, clamped into range
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal((1u << bits) - 1),
+          val(initial > maxVal ? maxVal : initial)
+    {
+        if (bits == 0 || bits > 16)
+            panic("SatCounter width out of range: ", bits);
+    }
+
+    /** Saturating increment. */
+    void
+    increment(unsigned by = 1)
+    {
+        val = (val + by > maxVal) ? maxVal : val + by;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement(unsigned by = 1)
+    {
+        val = (by > val) ? 0 : val - by;
+    }
+
+    /** Current value. */
+    unsigned value() const { return val; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return maxVal; }
+
+    /** True when the counter is in its upper half (weakly/strongly set). */
+    bool isSet() const { return val > maxVal / 2; }
+
+    /** Force a value (clamped). */
+    void
+    set(unsigned v)
+    {
+        val = v > maxVal ? maxVal : v;
+    }
+
+    /** Reset to zero. */
+    void reset() { val = 0; }
+
+  private:
+    unsigned maxVal = 1;
+    unsigned val = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_SAT_COUNTER_HH

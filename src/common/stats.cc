@@ -1,0 +1,59 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+void
+StatSet::add(const std::string &name, double value)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        ordered[it->second].second = value;
+        return;
+    }
+    index.emplace(name, ordered.size());
+    ordered.emplace_back(name, value);
+}
+
+void
+StatSet::addAll(const std::string &prefix, const StatSet &other)
+{
+    for (const auto &[name, value] : other.ordered)
+        add(prefix + name, value);
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        fatal("StatSet: unknown stat '", name, "'");
+    return ordered[it->second].second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::size_t w = 0;
+    for (const auto &[name, value] : ordered)
+        w = std::max(w, name.size());
+    std::ostringstream os;
+    for (const auto &[name, value] : ordered) {
+        os << std::left << std::setw(static_cast<int>(w) + 2) << name
+           << std::setprecision(6) << value << "\n";
+    }
+    return os.str();
+}
+
+} // namespace garibaldi

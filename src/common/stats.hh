@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.  Modules keep plain uint64_t
+ * members for hot-path counting and export them through a StatSet for
+ * uniform dumping in tests, examples and benches.
+ */
+
+#ifndef GARIBALDI_COMMON_STATS_HH
+#define GARIBALDI_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace garibaldi
+{
+
+/**
+ * An ordered collection of (name, value) statistics.  Values are doubles
+ * so both counters and derived ratios fit.
+ */
+class StatSet
+{
+  public:
+    /** Add or overwrite a scalar statistic. */
+    void add(const std::string &name, double value);
+
+    /** Merge another set under a name prefix ("llc." etc.). */
+    void addAll(const std::string &prefix, const StatSet &other);
+
+    /** Lookup; fatal() if absent (tests rely on exact names). */
+    double get(const std::string &name) const;
+
+    /** True if @p name is present. */
+    bool has(const std::string &name) const;
+
+    /** All stats in insertion order. */
+    const std::vector<std::pair<std::string, double>> &entries() const
+    {
+        return ordered;
+    }
+
+    /** Render as aligned "name value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::size_t> index;
+    std::vector<std::pair<std::string, double>> ordered;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_STATS_HH

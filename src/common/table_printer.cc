@@ -1,0 +1,92 @@
+#include "common/table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    if (headers.empty())
+        panic("TablePrinter needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers.size())
+        panic("TablePrinter row has ", cells.size(), " cells, expected ",
+              headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::toText() const
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(width[c] - cells[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TablePrinter::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+} // namespace garibaldi

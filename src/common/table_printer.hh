@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned text-table renderer used by every bench binary to print
+ * paper-style rows/series, with an optional CSV mode for plotting.
+ */
+
+#ifndef GARIBALDI_COMMON_TABLE_PRINTER_HH
+#define GARIBALDI_COMMON_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace garibaldi
+{
+
+/** Builds a table row by row, then renders aligned text or CSV. */
+class TablePrinter
+{
+  public:
+    /** @param headers column headers, fixing the column count. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format as percent ("+12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render as an aligned text table. */
+    std::string toText() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_TABLE_PRINTER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental type aliases and address-geometry helpers shared by every
+ * subsystem.  The modeled machine uses 64 B cache lines, 4 KB pages and a
+ * 44-bit physical address space (16 TB), matching Table 1/2 of the paper.
+ */
+
+#ifndef GARIBALDI_COMMON_TYPES_HH
+#define GARIBALDI_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace garibaldi
+{
+
+/** Byte address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count (3.0 GHz core clock domain). */
+using Cycle = std::uint64_t;
+
+/** Monotonic per-structure access sequence number. */
+using Tick = std::uint64_t;
+
+/** Identifier of a simulated core (0-based). */
+using CoreId = std::uint32_t;
+
+/** Width of a cache line in bytes. */
+constexpr Addr kLineBytes = 64;
+/** log2 of the cache line size. */
+constexpr unsigned kLineShift = 6;
+
+/** Width of a memory page in bytes. */
+constexpr Addr kPageBytes = 4096;
+/** log2 of the page size. */
+constexpr unsigned kPageShift = 12;
+
+/** Number of cache lines in one page. */
+constexpr Addr kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Number of physical address bits modeled (16 TB, Table 2). */
+constexpr unsigned kPhysAddrBits = 44;
+
+/** Mask covering the modeled physical address space. */
+constexpr Addr kPhysAddrMask = (Addr{1} << kPhysAddrBits) - 1;
+
+/** Align @p a down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~(kLineBytes - 1);
+}
+
+/** Cache line number of address @p a. */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Align @p a down to its page base. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~(kPageBytes - 1);
+}
+
+/** Page (frame) number of address @p a. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> kPageShift;
+}
+
+/** Byte offset of @p a within its page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & (kPageBytes - 1);
+}
+
+/**
+ * Line index of @p a within its page (the 6-bit "page offset, 64 B
+ * aligned" field of Fig. 8/10 in the paper).
+ */
+constexpr Addr
+lineInPage(Addr a)
+{
+    return (a & (kPageBytes - 1)) >> kLineShift;
+}
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_TYPES_HH

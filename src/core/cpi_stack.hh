@@ -1,0 +1,127 @@
+/**
+ * @file
+ * CPI-stack accounting (Fig. 1 reproduction).  Every stall cycle the
+ * interval core model charges is attributed to exactly one component.
+ */
+
+#ifndef GARIBALDI_CORE_CPI_STACK_HH
+#define GARIBALDI_CORE_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** Where a cycle went. */
+enum class CpiComponent : std::uint8_t
+{
+    Base = 0,   //!< issue-width-limited useful work
+    Branch,     //!< misprediction flushes
+    IFetchL2,   //!< instruction fetch served by L2
+    IFetchLLC,  //!< instruction fetch served by the LLC
+    IFetchMem,  //!< instruction fetch served by DRAM
+    DataL2,     //!< load served by L2
+    DataLLC,    //!< load served by the LLC
+    DataMem,    //!< load served by DRAM
+    Store,      //!< store-buffer backpressure
+    Itlb,       //!< instruction translation
+    Dtlb,       //!< data translation
+    NumComponents,
+};
+
+constexpr std::size_t kNumCpiComponents =
+    static_cast<std::size_t>(CpiComponent::NumComponents);
+
+/** Display name of a component. */
+const char *cpiComponentName(CpiComponent c);
+
+/** Per-core cycle attribution. */
+struct CpiStack
+{
+    std::array<std::uint64_t, kNumCpiComponents> cycles{};
+
+    void
+    charge(CpiComponent c, Cycle n)
+    {
+        cycles[static_cast<std::size_t>(c)] += n;
+    }
+
+    Cycle
+    of(CpiComponent c) const
+    {
+        return cycles[static_cast<std::size_t>(c)];
+    }
+
+    /** All instruction-fetch stall cycles (Fig. 13 metric). */
+    Cycle
+    ifetchCycles() const
+    {
+        return of(CpiComponent::IFetchL2) + of(CpiComponent::IFetchLLC) +
+               of(CpiComponent::IFetchMem);
+    }
+
+    /** All data-side stall cycles. */
+    Cycle
+    dataCycles() const
+    {
+        return of(CpiComponent::DataL2) + of(CpiComponent::DataLLC) +
+               of(CpiComponent::DataMem);
+    }
+
+    Cycle
+    total() const
+    {
+        Cycle t = 0;
+        for (auto c : cycles)
+            t += c;
+        return t;
+    }
+
+    void
+    merge(const CpiStack &other)
+    {
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+            cycles[i] += other.cycles[i];
+    }
+
+    void clear() { cycles.fill(0); }
+};
+
+inline const char *
+cpiComponentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::Base:
+        return "base";
+      case CpiComponent::Branch:
+        return "branch";
+      case CpiComponent::IFetchL2:
+        return "ifetch.l2";
+      case CpiComponent::IFetchLLC:
+        return "ifetch.llc";
+      case CpiComponent::IFetchMem:
+        return "ifetch.mem";
+      case CpiComponent::DataL2:
+        return "data.l2";
+      case CpiComponent::DataLLC:
+        return "data.llc";
+      case CpiComponent::DataMem:
+        return "data.mem";
+      case CpiComponent::Store:
+        return "store";
+      case CpiComponent::Itlb:
+        return "itlb";
+      case CpiComponent::Dtlb:
+        return "dtlb";
+      default:
+        return "?";
+    }
+}
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_CORE_CPI_STACK_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Two-level TLB model (Table 1: 64-entry ITLB, 48-entry DTLB, shared
+ * 3072-entry STLB).  Misses in the first level probe the STLB; STLB
+ * misses charge a fixed page-walk cost.
+ */
+
+#ifndef GARIBALDI_CORE_TLB_HH
+#define GARIBALDI_CORE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** Fully-associative-by-set LRU TLB. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries total entries
+     * @param assoc associativity (entries must divide evenly)
+     */
+    Tlb(std::uint32_t entries, std::uint32_t assoc);
+
+    /** Probe and update LRU; inserts on miss. @return hit. */
+    bool access(Addr vpn);
+
+    /** Probe without insertion or LRU update. */
+    bool probe(Addr vpn) const;
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        Tick lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t setOf(Addr vpn) const;
+
+    std::uint32_t numSets;
+    std::uint32_t assoc;
+    std::vector<Entry> entriesArr;
+    Tick tick = 0;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+};
+
+/** ITLB/DTLB + shared STLB with fixed walk cost. */
+class TlbHierarchy
+{
+  public:
+    struct Params
+    {
+        std::uint32_t itlbEntries = 64;
+        std::uint32_t dtlbEntries = 48;
+        std::uint32_t stlbEntries = 3072;
+        std::uint32_t stlbAssoc = 12;
+        Cycle stlbHitCost = 8;   //!< first-level miss, STLB hit
+        Cycle walkCost = 120;    //!< full page walk
+    };
+
+    explicit TlbHierarchy(const Params &params);
+
+    /** Translate an instruction-side page. @return stall cycles. */
+    Cycle accessInstr(Addr vpn);
+
+    /** Translate a data-side page. @return stall cycles. */
+    Cycle accessData(Addr vpn);
+
+    StatSet stats() const;
+
+  private:
+    Cycle accessThrough(Tlb &first, Addr vpn, std::uint64_t &walks);
+
+    Params params;
+    Tlb itlb;
+    Tlb dtlb;
+    Tlb stlb;
+    std::uint64_t iWalks = 0;
+    std::uint64_t dWalks = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_CORE_TLB_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Garibaldi configuration (Table 2 defaults).
+ */
+
+#ifndef GARIBALDI_GARIBALDI_PARAMS_HH
+#define GARIBALDI_GARIBALDI_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** How the protection threshold is managed (Fig. 14(b) modes). */
+enum class ThresholdMode : std::uint8_t
+{
+    Dynamic = 0,  //!< PMU-driven adjustment every color period
+    Fixed,        //!< init + fixedDelta, never changes
+    AllProtected, //!< threshold 0: every tracked instruction protected
+};
+
+/** Tunables of the Garibaldi module. */
+struct GaribaldiParams
+{
+    /** Main pair table entries (Table 2: 2^14; Fig. 14(c) sweeps it). */
+    std::uint32_t pairTableEntries = 1u << 14;
+    /** DL_PA fields per pair entry (Table 2: k=1; Fig. 14(a)). */
+    unsigned k = 1;
+    /** Decoupled D_PPN table entries (Table 2: 2^13, tagless). */
+    std::uint32_t dppnEntries = 1u << 13;
+    /** Helper table entries per core (Table 2: 128, 4-way). */
+    std::uint32_t helperEntries = 128;
+    std::uint32_t helperAssoc = 4;
+
+    /** miss_cost counter width (Table 2: 6 bits). */
+    unsigned missCostBits = 6;
+    /** Initial miss_cost of a fresh pair entry (mid-scale). */
+    unsigned missCostInit = 32;
+    /** Coloring timer width l (§5.2: 3 bits => 8 colors). */
+    unsigned colorBits = 3;
+    /** LLC accesses per color period N (paper: 100K; scaled to the
+     *  shorter measurement windows used here). */
+    std::uint64_t colorPeriod = 8192;
+
+    ThresholdMode thresholdMode = ThresholdMode::Dynamic;
+    /** Initial protection threshold (Fig. 14(b): 32). */
+    unsigned thresholdInit = 32;
+    /** Delta applied in Fixed mode (Fig. 14(b): -16 / 0 / +16). */
+    int fixedThresholdDelta = 0;
+    /** Margin on the P(D_miss|I_miss) vs miss-rate comparison. */
+    double thresholdMargin = 0.02;
+
+    /** DL_PA / D_PPN saturating counter width (Table 2: 3 bits). */
+    unsigned sctrBits = 3;
+    /** Replace a DL_PA field when its sctr falls below this (§5.3: 4). */
+    unsigned sctrReplaceThreshold = 4;
+    /** Most recent instruction-miss PCs tracked per thread (§5.2: 10). */
+    unsigned recentIMissPcs = 10;
+
+    /** QBS integration (§6): query cost and per-eviction attempt cap. */
+    Cycle qbsLookupCost = 1;
+    unsigned qbsMaxAttempts = 2;
+
+    /** Master switch for the pairwise data prefetch (k=0 also off). */
+    bool prefetchEnabled = true;
+    /** Master switch for selective instruction protection. */
+    bool protectionEnabled = true;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_GARIBALDI_PARAMS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Storage-overhead calculator reproducing Table 2 from the configured
+ * GaribaldiParams and machine geometry.
+ */
+
+#ifndef GARIBALDI_GARIBALDI_STORAGE_HH
+#define GARIBALDI_GARIBALDI_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "garibaldi/params.hh"
+
+namespace garibaldi
+{
+
+/** Bit/byte budget of each Garibaldi structure. */
+struct StorageBreakdown
+{
+    std::uint64_t pairEntryBits = 0;   //!< per-entry, tag+cost+color+valid
+    std::uint64_t dlFieldBits = 0;     //!< per DL_PA field
+    std::uint64_t pairTableBytes = 0;
+    std::uint64_t dppnEntryBits = 0;
+    std::uint64_t dppnTableBytes = 0;
+    std::uint64_t helperEntryBits = 0;
+    std::uint64_t helperBytesPerCore = 0;
+    std::uint64_t totalBytes = 0;      //!< all cores included
+    std::uint64_t instrBitBytes = 0;   //!< 1-bit indicator in L2+LLC
+    double fractionOfLlc = 0.0;        //!< totalBytes / LLC capacity
+    double fractionWithInstrBit = 0.0;
+
+    /** Render as a Table 2-style text block. */
+    std::string toString() const;
+};
+
+/**
+ * Compute the Table 2 breakdown.
+ *
+ * @param params Garibaldi configuration
+ * @param num_cores cores (helper table instances)
+ * @param llc_bytes LLC capacity (for the overhead fraction)
+ * @param l2_bytes_total sum of all L2 capacities (instruction bits)
+ */
+StorageBreakdown computeStorage(const GaribaldiParams &params,
+                                std::uint32_t num_cores,
+                                std::uint64_t llc_bytes,
+                                std::uint64_t l2_bytes_total);
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_GARIBALDI_STORAGE_HH

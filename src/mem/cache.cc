@@ -1,0 +1,352 @@
+#include "mem/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+StatSet
+CacheStats::toStatSet() const
+{
+    StatSet s;
+    s.add("accesses", static_cast<double>(accesses));
+    s.add("hits", static_cast<double>(hits));
+    s.add("misses", static_cast<double>(misses));
+    s.add("hit_rate", hitRate());
+    s.add("instr_accesses", static_cast<double>(instrAccesses));
+    s.add("instr_hits", static_cast<double>(instrHits));
+    s.add("instr_misses", static_cast<double>(instrMisses));
+    s.add("instr_miss_rate", instrMissRate());
+    s.add("writebacks_out", static_cast<double>(writebacksOut));
+    s.add("evictions", static_cast<double>(evictions));
+    s.add("instr_evictions", static_cast<double>(instrEvictions));
+    s.add("prefetch_inserts", static_cast<double>(prefetchInserts));
+    s.add("prefetch_useful", static_cast<double>(prefetchUseful));
+    s.add("mshr_merges", static_cast<double>(mshrMerges));
+    s.add("qbs_queries", static_cast<double>(qbsQueries));
+    s.add("qbs_protections", static_cast<double>(qbsProtections));
+    return s;
+}
+
+Cache::Cache(const CacheParams &params_)
+    : params(params_)
+{
+    if (params.sizeBytes == 0 || params.assoc == 0)
+        fatal(params.name, ": size and associativity must be non-zero");
+    std::uint64_t lines = params.sizeBytes / kLineBytes;
+    if (lines % params.assoc != 0)
+        fatal(params.name, ": lines (", lines,
+              ") not divisible by assoc (", params.assoc, ")");
+    nSets = static_cast<std::uint32_t>(lines / params.assoc);
+    checkPowerOf2(nSets, (params.name + " set count").c_str());
+    if (params.instrPartitionWays >= params.assoc)
+        fatal(params.name, ": instruction partition (",
+              params.instrPartitionWays, " ways) must leave data ways");
+    linesArr.resize(lines);
+    repl = makePolicy(params.policy, nSets, params.assoc,
+                      params.policyParams);
+}
+
+std::uint32_t
+Cache::setOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(lineNumber(line_addr)) &
+           (nSets - 1);
+}
+
+CacheLine &
+Cache::frame(std::uint32_t set, std::uint32_t way)
+{
+    return linesArr[std::size_t{set} * params.assoc + way];
+}
+
+const CacheLine &
+Cache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return linesArr[std::size_t{set} * params.assoc + way];
+}
+
+CacheLine *
+Cache::findLine(Addr line_addr)
+{
+    std::uint32_t set = setOf(line_addr);
+    Addr tag = lineNumber(line_addr);
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        CacheLine &l = frame(set, w);
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return findLine(lineAlign(line_addr)) != nullptr;
+}
+
+bool
+Cache::access(const MemAccess &acc)
+{
+    Addr line_addr = acc.lineAddr();
+    std::uint32_t set = setOf(line_addr);
+
+    if (!acc.isPrefetch) {
+        ++stat.accesses;
+        if (acc.isInstr)
+            ++stat.instrAccesses;
+        repl->onAccess(set, acc, contains(line_addr));
+    }
+
+    // Fig. 3(d) I-oracle: instructions always hit after first access and
+    // occupy no capacity.
+    if (params.instrOracle && acc.isInstr) {
+        bool seen = oracleSeen.count(lineNumber(line_addr)) != 0;
+        if (seen) {
+            if (!acc.isPrefetch) {
+                ++stat.hits;
+                if (acc.isInstr)
+                    ++stat.instrHits;
+            }
+            return true;
+        }
+        oracleSeen.insert(lineNumber(line_addr));
+        if (!acc.isPrefetch) {
+            ++stat.misses;
+            ++stat.instrMisses;
+        }
+        return false;
+    }
+
+    Addr tag = lineNumber(line_addr);
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        CacheLine &l = frame(set, w);
+        if (l.valid && l.tag == tag) {
+            if (!acc.isPrefetch) {
+                ++stat.hits;
+                if (acc.isInstr)
+                    ++stat.instrHits;
+                if (l.prefetched) {
+                    l.prefetched = false;
+                    ++stat.prefetchUseful;
+                }
+                repl->onHit(set, w, acc);
+                l.lastUse = ++useTick;
+                l.owner = acc.core;
+                if (acc.isWrite)
+                    l.dirty = true;
+            }
+            return true;
+        }
+    }
+
+    if (!acc.isPrefetch) {
+        ++stat.misses;
+        if (acc.isInstr)
+            ++stat.instrMisses;
+    }
+    return false;
+}
+
+std::uint32_t
+Cache::pickPartitionVictim(std::uint32_t set, bool instr_class)
+{
+    // Way partitioning (Fig. 14(d)): ways [0, P) belong to instruction
+    // lines, ways [P, assoc) to everything else.  Victims are chosen by
+    // the cache's own LRU stamps within the region.
+    std::uint32_t lo = instr_class ? 0 : params.instrPartitionWays;
+    std::uint32_t hi = instr_class ? params.instrPartitionWays
+                                   : params.assoc;
+    std::uint32_t best = lo;
+    Tick best_tick = ~Tick{0};
+    for (std::uint32_t w = lo; w < hi; ++w) {
+        CacheLine &l = frame(set, w);
+        if (!l.valid)
+            return w;
+        if (l.lastUse < best_tick) {
+            best_tick = l.lastUse;
+            best = w;
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+Cache::pickVictim(std::uint32_t set, const MemAccess &acc,
+                  bool instr_class)
+{
+    if (params.instrPartitionWays > 0)
+        return pickPartitionVictim(set, instr_class);
+
+    for (std::uint32_t w = 0; w < params.assoc; ++w)
+        if (!frame(set, w).valid)
+            return w;
+
+    std::uint32_t way = repl->victim(set, acc);
+    if (!companion)
+        return way;
+
+    // QBS-style selective instruction protection (Fig. 5(b)): query the
+    // pair table when the nominated victim is an instruction line; a
+    // protected victim is promoted and the policy re-queried, at most
+    // maxProtectAttempts times per eviction.
+    unsigned attempts = 0;
+    while (attempts < companion->maxProtectAttempts()) {
+        CacheLine &cand = frame(set, way);
+        if (!cand.valid || !cand.isInstr)
+            break;
+        ++stat.qbsQueries;
+        qbsCycles += companion->queryCost();
+        if (!companion->shouldProtect(cand.tag << kLineShift))
+            break;
+        ++stat.qbsProtections;
+        repl->promote(set, way);
+        cand.lastUse = ++useTick;
+        ++attempts;
+        way = repl->victim(set, acc);
+    }
+    return way;
+}
+
+Eviction
+Cache::insert(const MemAccess &acc, bool dirty, bool critical)
+{
+    Addr line_addr = acc.lineAddr();
+
+    if (params.instrOracle && acc.isInstr)
+        return {}; // oracle instructions never occupy the arrays
+
+    if (CacheLine *resident = findLine(line_addr)) {
+        // Already present (e.g. writeback into a still-resident line or
+        // a prefetch racing a demand fill): just merge status bits.
+        resident->dirty = resident->dirty || dirty || acc.isWrite;
+        return {};
+    }
+
+    std::uint32_t set = setOf(line_addr);
+
+    // Partition admission: only critical instruction lines may claim
+    // the instruction region when the Emissary-style filter is on.
+    bool instr_class = acc.isInstr &&
+        (!params.partitionCriticalOnly || critical);
+    if (params.instrPartitionWays > 0 && instr_class)
+        ++stat.partitionInstrInserts;
+
+    std::uint32_t way = pickVictim(set, acc, instr_class);
+    CacheLine &l = frame(set, way);
+
+    Eviction ev;
+    if (l.valid) {
+        ev.valid = true;
+        ev.lineAddr = l.tag << kLineShift;
+        ev.dirty = l.dirty;
+        ev.isInstr = l.isInstr;
+        ++stat.evictions;
+        if (l.isInstr)
+            ++stat.instrEvictions;
+        if (ev.dirty)
+            ++stat.writebacksOut;
+        repl->onEvict(set, way);
+        if (companion)
+            companion->observeEvict(ev.lineAddr, ev.isInstr);
+    }
+
+    l.tag = lineNumber(line_addr);
+    l.valid = true;
+    l.dirty = dirty || acc.isWrite;
+    l.isInstr = acc.isInstr;
+    l.prefetched = acc.isPrefetch;
+    l.lastUse = ++useTick;
+    l.owner = acc.core;
+    repl->onInsert(set, way, acc);
+    if (acc.isPrefetch)
+        ++stat.prefetchInserts;
+    if (companion)
+        companion->observeInsert(line_addr, acc.isInstr, acc.isPrefetch);
+    return ev;
+}
+
+void
+Cache::setDirty(Addr line_addr)
+{
+    if (CacheLine *l = findLine(lineAlign(line_addr)))
+        l->dirty = true;
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    std::uint32_t set = setOf(line_addr);
+    Addr tag = lineNumber(line_addr);
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        CacheLine &l = frame(set, w);
+        if (l.valid && l.tag == tag) {
+            bool was_dirty = l.dirty;
+            repl->onEvict(set, w);
+            if (companion)
+                companion->observeEvict(line_addr, l.isInstr);
+            l.invalidate();
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::addPending(Addr line_addr, Cycle ready)
+{
+    pending[lineNumber(line_addr)] = ready;
+}
+
+Cycle
+Cache::pendingReady(Addr line_addr, Cycle now)
+{
+    auto it = pending.find(lineNumber(line_addr));
+    if (it == pending.end())
+        return 0;
+    if (it->second <= now) {
+        pending.erase(it);
+        return 0;
+    }
+    ++stat.mshrMerges;
+    return it->second;
+}
+
+bool
+Cache::mshrsFull(Cycle now)
+{
+    if (pending.size() < params.mshrs)
+        return false;
+    // Lazily prune completed fills before declaring pressure.
+    for (auto it = pending.begin(); it != pending.end();) {
+        if (it->second <= now)
+            it = pending.erase(it);
+        else
+            ++it;
+    }
+    return pending.size() >= params.mshrs;
+}
+
+void
+Cache::setCompanion(LlcCompanion *companion_)
+{
+    companion = companion_;
+}
+
+Cycle
+Cache::drainQbsCycles()
+{
+    Cycle c = qbsCycles;
+    qbsCycles = 0;
+    return c;
+}
+
+} // namespace garibaldi

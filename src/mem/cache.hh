@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Set-associative cache with pluggable replacement, MSHR-style pending
+ * miss merging, per-line instruction bits, optional way partitioning
+ * (Fig. 14(d) baseline), the instruction-oracle mode of Fig. 3(d), and
+ * the Garibaldi companion hooks (QBS protection + pairwise prefetch).
+ */
+
+#ifndef GARIBALDI_MEM_CACHE_HH
+#define GARIBALDI_MEM_CACHE_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_line.hh"
+#include "mem/llc_companion.hh"
+#include "mem/policy/replacement.hh"
+#include "mem/request.hh"
+
+namespace garibaldi
+{
+
+/** Static configuration of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    Cycle latency = 3;        //!< hit latency in cycles
+    std::uint32_t mshrs = 10; //!< outstanding distinct line misses
+    PolicyKind policy = PolicyKind::LRU;
+    PolicyParams policyParams{};
+
+    /** LLC ways per set reserved for (critical) instruction lines. */
+    std::uint32_t instrPartitionWays = 0;
+    /** Partition admits only criticality-marked instruction lines. */
+    bool partitionCriticalOnly = false;
+    /** Fig. 3(d) I-oracle: instructions always hit after first touch. */
+    bool instrOracle = false;
+};
+
+/** Aggregate counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t instrAccesses = 0;
+    std::uint64_t instrHits = 0;
+    std::uint64_t instrMisses = 0;
+    std::uint64_t writebacksOut = 0;  //!< dirty lines pushed below
+    std::uint64_t evictions = 0;
+    std::uint64_t instrEvictions = 0;
+    std::uint64_t prefetchInserts = 0;
+    std::uint64_t prefetchUseful = 0; //!< demand hit on prefetched line
+    std::uint64_t mshrMerges = 0;     //!< demand found line in flight
+    std::uint64_t qbsQueries = 0;
+    std::uint64_t qbsProtections = 0;
+    std::uint64_t partitionInstrInserts = 0;
+
+    double hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+    }
+    double instrMissRate() const
+    {
+        return instrAccesses
+            ? static_cast<double>(instrMisses) / instrAccesses : 0.0;
+    }
+
+    StatSet toStatSet() const;
+};
+
+/** What an insertion displaced (for writebacks and directory upkeep). */
+struct Eviction
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    bool dirty = false;
+    bool isInstr = false;
+};
+
+/** Set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Demand or prefetch lookup.  Updates replacement state and stats.
+     * @return true on hit.  Oracle-mode instruction accesses are
+     * resolved against the oracle set instead of the arrays.
+     */
+    bool access(const MemAccess &acc);
+
+    /** Probe without any state change (tests, directory checks). */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Insert the line for @p acc, evicting if needed.
+     * @param dirty insert in dirty state (writeback allocation)
+     * @param critical instruction criticality mark (partition filter)
+     * @return what was displaced
+     */
+    Eviction insert(const MemAccess &acc, bool dirty = false,
+                    bool critical = false);
+
+    /** Mark a resident line dirty (store hit / writeback hit). */
+    void setDirty(Addr line_addr);
+
+    /** Invalidate a resident line (coherence). @return was dirty. */
+    bool invalidate(Addr line_addr);
+
+    /** Record an in-flight miss for @p line completing at @p ready. */
+    void addPending(Addr line_addr, Cycle ready);
+
+    /**
+     * Completion time of an in-flight fill of @p line, or 0 when none.
+     * Entries whose time passed are pruned.
+     */
+    Cycle pendingReady(Addr line_addr, Cycle now);
+
+    /** True when all MSHRs are busy at @p now. */
+    bool mshrsFull(Cycle now);
+
+    /** Attach the Garibaldi module (LLC only). */
+    void setCompanion(LlcCompanion *companion);
+
+    /** Extra cycles accumulated by QBS queries since last drain. */
+    Cycle drainQbsCycles();
+
+    /** Oracle-mode: does this cache filter instruction insertions? */
+    bool oracleFiltersInstr() const { return params.instrOracle; }
+
+    std::uint32_t numSets() const { return nSets; }
+    std::uint32_t assoc() const { return params.assoc; }
+    Cycle latency() const { return params.latency; }
+    const CacheParams &config() const { return params; }
+    const CacheStats &stats() const { return stat; }
+    ReplacementPolicy &policy() { return *repl; }
+
+    /** Line metadata at (set, way); for tests and monitors. */
+    const CacheLine &lineAt(std::uint32_t set, std::uint32_t way) const;
+
+    /** Set index of a line address. */
+    std::uint32_t setOf(Addr line_addr) const;
+
+  private:
+    CacheLine *findLine(Addr line_addr);
+    const CacheLine *findLine(Addr line_addr) const;
+    CacheLine &frame(std::uint32_t set, std::uint32_t way);
+    std::uint32_t pickVictim(std::uint32_t set, const MemAccess &acc,
+                             bool instr_class);
+    std::uint32_t pickPartitionVictim(std::uint32_t set, bool instr_class);
+
+    CacheParams params;
+    std::uint32_t nSets;
+    std::vector<CacheLine> linesArr;
+    std::unique_ptr<ReplacementPolicy> repl;
+    CacheStats stat;
+    LlcCompanion *companion = nullptr;
+    Cycle qbsCycles = 0;
+    Tick useTick = 0;
+    std::unordered_map<Addr, Cycle> pending;
+    std::unordered_set<Addr> oracleSeen;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_CACHE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-line tag/metadata storage.  Includes the 1-bit instruction
+ * indicator the paper adds to L2 and LLC blocks (§4.2) and a prefetched
+ * bit (modern caches distinguish prefetched lines, §5.3).
+ */
+
+#ifndef GARIBALDI_MEM_CACHE_LINE_HH
+#define GARIBALDI_MEM_CACHE_LINE_HH
+
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** Tag and status bits of one cache line frame. */
+struct CacheLine
+{
+    Addr tag = 0;            //!< full line address (paddr >> 6)
+    bool valid = false;
+    bool dirty = false;
+    bool isInstr = false;    //!< 1-bit instruction indicator
+    bool prefetched = false; //!< inserted by a prefetcher, not yet demanded
+    Tick lastUse = 0;        //!< cache-maintained LRU stamp
+    CoreId owner = 0;        //!< core that inserted / last touched
+
+    /** Invalidate the frame, clearing all metadata. */
+    void
+    invalidate()
+    {
+        valid = false;
+        dirty = false;
+        isInstr = false;
+        prefetched = false;
+        lastUse = 0;
+    }
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_CACHE_LINE_HH

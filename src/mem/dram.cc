@@ -1,0 +1,67 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+Dram::Dram(const DramParams &params_)
+    : params(params_), nextFree(params_.channels, 0)
+{
+    if (params.channels == 0)
+        fatal("DRAM needs at least one channel");
+}
+
+std::uint32_t
+Dram::channelOf(Addr line_addr) const
+{
+    // Hash the line address so structured strides spread over channels.
+    return static_cast<std::uint32_t>(mix64(line_addr) % params.channels);
+}
+
+Cycle
+Dram::access(Addr line_addr, bool is_write, Cycle now)
+{
+    std::uint32_t ch = channelOf(line_addr);
+    // Requests can arrive slightly out of time order (cores are
+    // interleaved with bounded skew).  A request from the "past" slots
+    // into capacity the channel had back then instead of queueing
+    // behind a future request.
+    if (now + kBackfillSlack < nextFree[ch]) {
+        ++nBackfills;
+        if (is_write) {
+            ++nWrites;
+            return 0;
+        }
+        ++nReads;
+        return params.baseLatency;
+    }
+    Cycle start = std::max(now, nextFree[ch]);
+    Cycle queue = start - now;
+    nextFree[ch] = start + params.serviceCycles;
+    queuedCycles += queue;
+    queueDelay.add(queue);
+    if (is_write) {
+        ++nWrites;
+        return 0; // posted write: bandwidth consumed, no core stall
+    }
+    ++nReads;
+    return queue + params.baseLatency;
+}
+
+StatSet
+Dram::stats() const
+{
+    StatSet s;
+    s.add("reads", static_cast<double>(nReads));
+    s.add("writes", static_cast<double>(nWrites));
+    s.add("queued_cycles", static_cast<double>(queuedCycles));
+    s.add("backfills", static_cast<double>(nBackfills));
+    s.add("avg_queue_delay", queueDelay.mean());
+    return s;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DDR5 main-memory model: fixed device access latency plus a per-channel
+ * bandwidth queue (Table 1: 2-channel DDR5-6400, 102.4 GB/s aggregate,
+ * 49 ns access latency, memory-controller queuing modeled).
+ */
+
+#ifndef GARIBALDI_MEM_DRAM_HH
+#define GARIBALDI_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** DRAM configuration. */
+struct DramParams
+{
+    std::uint32_t channels = 2;
+    /** Device access latency in core cycles (49 ns @ 3 GHz). */
+    Cycle baseLatency = 147;
+    /** Channel occupancy per 64 B transfer (51.2 GB/s/ch @ 3 GHz). */
+    Cycle serviceCycles = 4;
+};
+
+/** Bandwidth-limited DRAM with per-channel FCFS queueing. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Issue a line transfer.
+     * @return total latency (queue + device) for reads; writes are
+     * posted and return 0 while still consuming channel bandwidth.
+     */
+    Cycle access(Addr line_addr, bool is_write, Cycle now);
+
+    /** Export statistics. */
+    StatSet stats() const;
+
+    std::uint64_t reads() const { return nReads; }
+    std::uint64_t writes() const { return nWrites; }
+
+  private:
+    /** Tolerated out-of-order arrival window (see access()). */
+    static constexpr Cycle kBackfillSlack = 64;
+
+    std::uint32_t channelOf(Addr line_addr) const;
+
+    DramParams params;
+    std::vector<Cycle> nextFree;
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+    std::uint64_t queuedCycles = 0;
+    std::uint64_t nBackfills = 0;
+    Histogram queueDelay{8, 64};
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_DRAM_HH

@@ -1,0 +1,403 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params_)
+    : params(params_)
+{
+    if (params.numCores == 0)
+        fatal("hierarchy needs at least one core");
+    if (params.coresPerL2 == 0)
+        fatal("coresPerL2 must be non-zero");
+
+    std::uint32_t clusters =
+        static_cast<std::uint32_t>(divCeil(params.numCores,
+                                           params.coresPerL2));
+    for (CoreId c = 0; c < params.numCores; ++c) {
+        CacheParams p1i = params.l1i;
+        p1i.name = "l1i" + std::to_string(c);
+        l1is.push_back(std::make_unique<Cache>(p1i));
+        CacheParams p1d = params.l1d;
+        p1d.name = "l1d" + std::to_string(c);
+        l1ds.push_back(std::make_unique<Cache>(p1d));
+        l1dPf.push_back(params.l1dNextLinePrefetcher
+                            ? std::make_unique<NextLinePrefetcher>(1)
+                            : nullptr);
+        l1iPf.push_back(params.l1iIspyPrefetcher
+                            ? std::make_unique<IspyPrefetcher>()
+                            : nullptr);
+    }
+    for (std::uint32_t cl = 0; cl < clusters; ++cl) {
+        CacheParams p2 = params.l2;
+        p2.name = "l2." + std::to_string(cl);
+        l2s.push_back(std::make_unique<Cache>(p2));
+        l2Pf.push_back(params.l2GhbPrefetcher
+                           ? std::make_unique<GhbPrefetcher>()
+                           : nullptr);
+    }
+    CacheParams pllc = params.llc;
+    pllc.name = "llc";
+    llcCache = std::make_unique<Cache>(pllc);
+    dramModel = std::make_unique<Dram>(params.dram);
+    dir = std::make_unique<Directory>(clusters);
+}
+
+void
+MemoryHierarchy::setLlcCompanion(LlcCompanion *companion_)
+{
+    companion = companion_;
+    llcCache->setCompanion(companion_);
+}
+
+void
+MemoryHierarchy::addLlcObserver(LlcObserver observer)
+{
+    llcObservers.push_back(std::move(observer));
+}
+
+bool
+MemoryHierarchy::instrIsCritical(Addr line_addr)
+{
+    // Emissary-flavored criticality proxy: instruction lines that miss
+    // the LLC repeatedly are the ones stalling the decoders.
+    std::uint8_t &count = instrMissCount[lineNumber(line_addr)];
+    if (count < 255)
+        ++count;
+    return count >= 2;
+}
+
+AccessOutcome
+MemoryHierarchy::access(const MemAccess &acc, Cycle now)
+{
+    CoreId core = acc.core;
+    std::uint32_t cluster = clusterOf(core);
+    Cache &l1 = acc.isInstr ? *l1is[core] : *l1ds[core];
+    Addr line_addr = acc.lineAddr();
+
+    bool hit = l1.access(acc);
+    if (hit) {
+        Cycle ready = l1.pendingReady(line_addr, now);
+        Cycle lat = l1.latency();
+        if (ready > now + lat)
+            lat = ready - now;
+        return {lat, HitLevel::L1, false, false};
+    }
+
+    if (!acc.isPrefetch && l1.mshrsFull(now))
+        ++mshrStalls;
+
+    // Prefetches allocate only at their target level (here: the L1);
+    // pass-through levels serve the data without allocating, keeping
+    // the shared levels free of speculative pollution.
+    AccessOutcome below = accessFromL2(acc, cluster, now,
+                                       /*allocate=*/!acc.isPrefetch);
+
+    // NINE fill into L1; displaced dirty lines write back into L2.
+    Eviction ev = l1.insert(acc);
+    if (ev.valid && ev.dirty)
+        writebackToL2(ev, core, now);
+    l1.addPending(line_addr, now + below.latency);
+
+    Cycle lat = below.latency;
+    if (!acc.isPrefetch && l1.mshrsFull(now))
+        lat += params.mshrFullPenalty;
+
+    // L1-attached prefetchers react to demand traffic.
+    if (!acc.isPrefetch) {
+        pfCandidates.clear();
+        if (acc.isInstr && l1iPf[core])
+            l1iPf[core]->observe(acc, false, pfCandidates);
+        else if (!acc.isInstr && l1dPf[core])
+            l1dPf[core]->observe(acc, false, pfCandidates);
+        if (!pfCandidates.empty()) {
+            std::vector<Addr> cands;
+            cands.swap(pfCandidates);
+            for (Addr a : cands) {
+                MemAccess pf;
+                pf.core = core;
+                pf.paddr = a;
+                pf.isInstr = acc.isInstr;
+                pf.isPrefetch = true;
+                access(pf, now);
+            }
+        }
+    }
+
+    return {lat, below.level, below.llcAccessed, below.llcHit};
+}
+
+AccessOutcome
+MemoryHierarchy::accessFromL2(const MemAccess &acc, std::uint32_t cluster,
+                              Cycle now, bool allocate)
+{
+    Cache &l2c = *l2s[cluster];
+    Addr line_addr = acc.lineAddr();
+    bool hit = l2c.access(acc);
+
+    AccessOutcome out;
+    if (hit) {
+        Cycle ready = l2c.pendingReady(line_addr, now);
+        out.latency = l2c.latency();
+        if (ready > now + out.latency)
+            out.latency = ready - now;
+        out.level = HitLevel::L2;
+
+        // Store into a line shared by another cluster: upgrade.
+        if (acc.isWrite && !acc.isPrefetch &&
+            dir->sharerCount(line_addr) > 1) {
+            std::vector<std::uint32_t> inval;
+            Cycle pen = dir->onUpgrade(line_addr, cluster, inval);
+            applyInvalidations(inval, line_addr, now);
+            out.latency += pen;
+            coherencePenaltyCycles += pen;
+        }
+    } else {
+        AccessOutcome deep = accessLlc(acc, now, allocate);
+        out.latency = deep.latency;
+        out.level = deep.level;
+        out.llcAccessed = true;
+        out.llcHit = deep.llcHit;
+
+        if (allocate) {
+            Eviction ev = l2c.insert(acc);
+            if (ev.valid) {
+                dir->onEvict(ev.lineAddr, cluster);
+                if (ev.dirty)
+                    writebackToLlc(ev, acc.core, now);
+            }
+            l2c.addPending(line_addr, now + out.latency);
+
+            std::vector<std::uint32_t> inval;
+            Cycle pen = dir->onFill(line_addr, cluster, acc.isWrite,
+                                    inval);
+            applyInvalidations(inval, line_addr, now);
+            out.latency += pen;
+            coherencePenaltyCycles += pen;
+        }
+    }
+
+    // GHB watches demand data traffic at the L2.
+    if (!acc.isPrefetch && !acc.isInstr && l2Pf[cluster]) {
+        pfCandidates.clear();
+        l2Pf[cluster]->observe(acc, hit, pfCandidates);
+        if (!pfCandidates.empty()) {
+            std::vector<Addr> cands;
+            cands.swap(pfCandidates);
+            for (Addr a : cands) {
+                MemAccess pf;
+                pf.core = acc.core;
+                pf.paddr = a;
+                pf.isPrefetch = true;
+                if (!l2s[cluster]->access(pf)) {
+                    // GHB targets the L2: pass through the LLC without
+                    // allocating there.
+                    AccessOutcome deep =
+                        accessLlc(pf, now, /*allocate=*/false);
+                    Eviction ev = l2s[cluster]->insert(pf);
+                    if (ev.valid) {
+                        dir->onEvict(ev.lineAddr, cluster);
+                        if (ev.dirty)
+                            writebackToLlc(ev, acc.core, now);
+                    }
+                    l2s[cluster]->addPending(lineAlign(a),
+                                             now + deep.latency);
+                }
+            }
+        }
+    }
+
+    return out;
+}
+
+AccessOutcome
+MemoryHierarchy::accessLlc(const MemAccess &acc, Cycle now,
+                           bool allocate)
+{
+    Cache &llcc = *llcCache;
+    Addr line_addr = acc.lineAddr();
+    bool hit = llcc.access(acc);
+
+    if (!acc.isPrefetch) {
+        for (const auto &obs : llcObservers)
+            obs(acc, hit);
+        if (companion)
+            companion->observeAccess(acc, hit, now);
+    }
+
+    AccessOutcome out;
+    out.llcAccessed = true;
+    out.llcHit = hit;
+    if (hit) {
+        Cycle ready = llcc.pendingReady(line_addr, now);
+        out.latency = llcc.latency();
+        if (ready > now + out.latency)
+            out.latency = ready - now;
+        out.level = HitLevel::LLC;
+        return out;
+    }
+
+    // Pair-wise prefetch (Fig. 5(c)): triggered while an unprotected
+    // demand instruction miss is being served.
+    if (companion && !acc.isPrefetch && acc.isInstr) {
+        pfCandidates.clear();
+        companion->instrMissPrefetch(line_addr, pfCandidates);
+        if (!pfCandidates.empty()) {
+            std::vector<Addr> cands;
+            cands.swap(pfCandidates);
+            for (Addr a : cands)
+                llcOnlyPrefetch(a, acc.core, now);
+        }
+    }
+
+    Cycle dram_lat = dramModel->access(line_addr, false, now);
+    out.latency = llcc.latency() + dram_lat;
+    out.level = HitLevel::Mem;
+    if (!allocate)
+        return out;
+
+    bool critical = false;
+    if (acc.isInstr && llcc.config().instrPartitionWays > 0 &&
+        llcc.config().partitionCriticalOnly) {
+        critical = instrIsCritical(line_addr);
+    }
+
+    Eviction ev = llcc.insert(acc, false, critical);
+    if (ev.valid && ev.dirty)
+        dramModel->access(ev.lineAddr, true, now);
+    if (!(llcc.oracleFiltersInstr() && acc.isInstr))
+        llcc.addPending(line_addr, now + out.latency);
+    out.latency += llcc.drainQbsCycles();
+    return out;
+}
+
+void
+MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
+{
+    MemAccess pf;
+    pf.core = core;
+    pf.paddr = line_addr;
+    pf.isPrefetch = true;
+    if (llcCache->access(pf))
+        return;
+    Cycle dram_lat = dramModel->access(lineAlign(line_addr), false, now);
+    Eviction ev = llcCache->insert(pf);
+    if (ev.valid && ev.dirty)
+        dramModel->access(ev.lineAddr, true, now);
+    llcCache->addPending(lineAlign(line_addr),
+                         now + llcCache->latency() + dram_lat);
+}
+
+void
+MemoryHierarchy::writebackToLlc(const Eviction &ev, CoreId core,
+                                Cycle now)
+{
+    if (llcCache->contains(ev.lineAddr)) {
+        llcCache->setDirty(ev.lineAddr);
+        return;
+    }
+    // Allocate-on-writeback; flagged as prefetch so predictive policies
+    // treat the unproven line as far-reuse.
+    MemAccess wb;
+    wb.core = core;
+    wb.paddr = ev.lineAddr;
+    wb.isInstr = ev.isInstr;
+    wb.isPrefetch = true;
+    Eviction displaced = llcCache->insert(wb, /*dirty=*/true);
+    if (displaced.valid && displaced.dirty)
+        dramModel->access(displaced.lineAddr, true, now);
+}
+
+void
+MemoryHierarchy::writebackToL2(const Eviction &ev, CoreId core, Cycle now)
+{
+    std::uint32_t cluster = clusterOf(core);
+    Cache &l2c = *l2s[cluster];
+    if (l2c.contains(ev.lineAddr)) {
+        l2c.setDirty(ev.lineAddr);
+        return;
+    }
+    MemAccess wb;
+    wb.core = core;
+    wb.paddr = ev.lineAddr;
+    wb.isInstr = ev.isInstr;
+    wb.isPrefetch = true;
+    Eviction displaced = l2c.insert(wb, /*dirty=*/true);
+    if (displaced.valid) {
+        dir->onEvict(displaced.lineAddr, cluster);
+        if (displaced.dirty)
+            writebackToLlc(displaced, core, now);
+    }
+    std::vector<std::uint32_t> inval;
+    dir->onFill(ev.lineAddr, cluster, /*is_write=*/true, inval);
+    applyInvalidations(inval, ev.lineAddr, now);
+}
+
+void
+MemoryHierarchy::applyInvalidations(
+    const std::vector<std::uint32_t> &clusters, Addr line_addr, Cycle now)
+{
+    for (std::uint32_t cl : clusters) {
+        // The directory already dropped these sharers when it issued
+        // the invalidation list; only the cached copies remain.
+        bool dirty = l2s[cl]->invalidate(line_addr);
+        if (dirty) {
+            Eviction ev;
+            ev.valid = true;
+            ev.lineAddr = lineAlign(line_addr);
+            ev.dirty = true;
+            writebackToLlc(ev, cl * params.coresPerL2, now);
+        }
+        CoreId first = cl * params.coresPerL2;
+        CoreId last = std::min<CoreId>(first + params.coresPerL2,
+                                       params.numCores);
+        for (CoreId c = first; c < last; ++c) {
+            l1ds[c]->invalidate(line_addr);
+            l1is[c]->invalidate(line_addr);
+        }
+    }
+}
+
+StatSet
+MemoryHierarchy::stats() const
+{
+    StatSet s;
+    CacheStats l1i_sum, l1d_sum, l2_sum;
+    auto accumulate = [](CacheStats &into, const CacheStats &from) {
+        into.accesses += from.accesses;
+        into.hits += from.hits;
+        into.misses += from.misses;
+        into.instrAccesses += from.instrAccesses;
+        into.instrHits += from.instrHits;
+        into.instrMisses += from.instrMisses;
+        into.writebacksOut += from.writebacksOut;
+        into.evictions += from.evictions;
+        into.instrEvictions += from.instrEvictions;
+        into.prefetchInserts += from.prefetchInserts;
+        into.prefetchUseful += from.prefetchUseful;
+        into.mshrMerges += from.mshrMerges;
+    };
+    for (const auto &c : l1is)
+        accumulate(l1i_sum, c->stats());
+    for (const auto &c : l1ds)
+        accumulate(l1d_sum, c->stats());
+    for (const auto &c : l2s)
+        accumulate(l2_sum, c->stats());
+    s.addAll("l1i.", l1i_sum.toStatSet());
+    s.addAll("l1d.", l1d_sum.toStatSet());
+    s.addAll("l2.", l2_sum.toStatSet());
+    s.addAll("llc.", llcCache->stats().toStatSet());
+    s.addAll("dram.", dramModel->stats());
+    s.addAll("dir.", dir->stats());
+    s.add("mshr_stalls", static_cast<double>(mshrStalls));
+    s.add("coherence_penalty_cycles",
+          static_cast<double>(coherencePenaltyCycles));
+    return s;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Full memory hierarchy of the modeled machine (Table 1): per-core
+ * L1I/L1D, an L2 shared by each 4-core cluster, one non-inclusive LLC
+ * shared by all cores, a MESI directory, hardware prefetchers (L1D
+ * next-line, L2 GHB, L1I I-SPY-like) and DDR5 DRAM.
+ *
+ * The LLC exposes the Garibaldi companion hooks and an observer list
+ * used by the characterization monitors (Fig. 3/4 reproduction).
+ */
+
+#ifndef GARIBALDI_MEM_HIERARCHY_HH
+#define GARIBALDI_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/coherence.hh"
+#include "mem/dram.hh"
+#include "mem/prefetch/ghb.hh"
+#include "mem/prefetch/ispy.hh"
+#include "mem/prefetch/next_line.hh"
+
+namespace garibaldi
+{
+
+/** Topology and per-level parameters. */
+struct HierarchyParams
+{
+    std::uint32_t numCores = 8;
+    std::uint32_t coresPerL2 = 4;
+    CacheParams l1i;
+    CacheParams l1d;
+    CacheParams l2;
+    CacheParams llc;
+    DramParams dram;
+    bool l1dNextLinePrefetcher = true;
+    bool l2GhbPrefetcher = true;
+    bool l1iIspyPrefetcher = true;
+    /** Extra stall cycles charged when a cache's MSHRs are full. */
+    Cycle mshrFullPenalty = 8;
+};
+
+/** The assembled cache/memory system. */
+class MemoryHierarchy
+{
+  public:
+    using LlcObserver = std::function<void(const MemAccess &, bool hit)>;
+
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    /** Service a demand access; returns the load-to-use outcome. */
+    AccessOutcome access(const MemAccess &acc, Cycle now);
+
+    /** Attach the Garibaldi module to the LLC. */
+    void setLlcCompanion(LlcCompanion *companion);
+
+    /** Subscribe to demand LLC accesses (monitors). */
+    void addLlcObserver(LlcObserver observer);
+
+    std::uint32_t clusterOf(CoreId core) const
+    {
+        return core / params.coresPerL2;
+    }
+    std::uint32_t numClusters() const
+    {
+        return static_cast<std::uint32_t>(l2s.size());
+    }
+
+    Cache &l1i(CoreId core) { return *l1is.at(core); }
+    Cache &l1d(CoreId core) { return *l1ds.at(core); }
+    Cache &l2(std::uint32_t cluster) { return *l2s.at(cluster); }
+    Cache &llc() { return *llcCache; }
+    const Cache &llc() const { return *llcCache; }
+    Dram &dram() { return *dramModel; }
+    Directory &directory() { return *dir; }
+
+    /** Aggregated statistics across all levels. */
+    StatSet stats() const;
+
+    const HierarchyParams &config() const { return params; }
+
+  private:
+    AccessOutcome accessFromL2(const MemAccess &acc,
+                               std::uint32_t cluster, Cycle now,
+                               bool allocate);
+    AccessOutcome accessLlc(const MemAccess &acc, Cycle now,
+                            bool allocate);
+    void writebackToLlc(const Eviction &ev, CoreId core, Cycle now);
+    void writebackToL2(const Eviction &ev, CoreId core, Cycle now);
+    void applyInvalidations(const std::vector<std::uint32_t> &clusters,
+                            Addr line_addr, Cycle now);
+    void llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now);
+    bool instrIsCritical(Addr line_addr);
+
+    HierarchyParams params;
+    std::vector<std::unique_ptr<Cache>> l1is;
+    std::vector<std::unique_ptr<Cache>> l1ds;
+    std::vector<std::unique_ptr<Cache>> l2s;
+    std::unique_ptr<Cache> llcCache;
+    std::unique_ptr<Dram> dramModel;
+    std::unique_ptr<Directory> dir;
+    std::vector<std::unique_ptr<NextLinePrefetcher>> l1dPf;
+    std::vector<std::unique_ptr<IspyPrefetcher>> l1iPf;
+    std::vector<std::unique_ptr<GhbPrefetcher>> l2Pf;
+    LlcCompanion *companion = nullptr;
+    std::vector<LlcObserver> llcObservers;
+    std::vector<Addr> pfCandidates; // scratch, avoids reallocation
+    std::unordered_map<Addr, std::uint8_t> instrMissCount;
+    std::uint64_t mshrStalls = 0;
+    std::uint64_t coherencePenaltyCycles = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_HIERARCHY_HH

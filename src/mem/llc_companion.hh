@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hook interface the shared LLC exposes to an attached management
+ * module.  Garibaldi implements it; the interface mirrors Fig. 6(b) of
+ * the paper: the LLC controller forwards access/insert/evict events and
+ * consults the module during victim selection (query) and instruction
+ * miss handling (pair-wise prefetch).
+ */
+
+#ifndef GARIBALDI_MEM_LLC_COMPANION_HH
+#define GARIBALDI_MEM_LLC_COMPANION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace garibaldi
+{
+
+/** LLC-side management module interface (implemented by Garibaldi). */
+class LlcCompanion
+{
+  public:
+    virtual ~LlcCompanion() = default;
+
+    /**
+     * A demand access was serviced by the LLC (allocate & update path,
+     * Fig. 5(a)).  Called after the hit/miss outcome is known.
+     */
+    virtual void observeAccess(const MemAccess &acc, bool hit,
+                               Cycle now) = 0;
+
+    /**
+     * QBS query (Fig. 5(b)): the replacement policy nominated an
+     * instruction line as victim.  Return true to protect it (the cache
+     * promotes it and asks the policy for the next candidate).
+     */
+    virtual bool shouldProtect(Addr victim_line_addr) = 0;
+
+    /**
+     * Pair-wise prefetch (Fig. 5(c)): an unprotected instruction line
+     * missed; append paired data line addresses to @p out.
+     */
+    virtual void instrMissPrefetch(Addr instr_line_addr,
+                                   std::vector<Addr> &out) = 0;
+
+    /** A line entered the LLC (demand fill, prefetch, or writeback). */
+    virtual void observeInsert(Addr line_addr, bool is_instr,
+                               bool prefetched) = 0;
+
+    /** A line left the LLC. */
+    virtual void observeEvict(Addr line_addr, bool is_instr) = 0;
+
+    /** QBS_MAX_ATTEMPTS: protections allowed per eviction (paper: 2). */
+    virtual unsigned maxProtectAttempts() const = 0;
+
+    /** QBS_LOOKUP_COST: cycles charged per query (paper: 1). */
+    virtual Cycle queryCost() const = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_LLC_COMPANION_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Least-recently-used replacement (the paper's baseline policy).
+ */
+
+#ifndef GARIBALDI_MEM_POLICY_LRU_HH
+#define GARIBALDI_MEM_POLICY_LRU_HH
+
+#include <vector>
+
+#include "mem/policy/replacement.hh"
+
+namespace garibaldi
+{
+
+/** Exact LRU via monotonic per-cache ticks. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
+
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const MemAccess &acc) override;
+    std::uint32_t victim(std::uint32_t set, const MemAccess &acc) override;
+    void onInsert(std::uint32_t set, std::uint32_t way,
+                  const MemAccess &acc) override;
+    void promote(std::uint32_t set, std::uint32_t way) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+    const char *name() const override { return "lru"; }
+
+  private:
+    Tick &stamp(std::uint32_t set, std::uint32_t way)
+    {
+        return stamps[std::size_t{set} * assoc + way];
+    }
+
+    std::vector<Tick> stamps;
+    Tick tick = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_POLICY_LRU_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Mockingjay (Shah, Jain & Lin, HPCA'22), simplified: a sampled cache
+ * measures per-PC reuse distances; a reuse-distance predictor (RDP)
+ * drives per-line Estimated-Time-Remaining (ETR) counters that emulate
+ * Belady's MIN — the victim is the line whose next use is farthest away
+ * (largest |ETR|).  Prefetched lines are inserted as far-reuse until
+ * demanded (prefetch-aware, as in the paper).
+ */
+
+#ifndef GARIBALDI_MEM_POLICY_MOCKINGJAY_HH
+#define GARIBALDI_MEM_POLICY_MOCKINGJAY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/policy/replacement.hh"
+
+namespace garibaldi
+{
+
+/** Mockingjay replacement. */
+class MockingjayPolicy : public ReplacementPolicy
+{
+  public:
+    MockingjayPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                     const PolicyParams &params);
+
+    void onAccess(std::uint32_t set, const MemAccess &acc,
+                  bool hit) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const MemAccess &acc) override;
+    std::uint32_t victim(std::uint32_t set, const MemAccess &acc) override;
+    void onInsert(std::uint32_t set, std::uint32_t way,
+                  const MemAccess &acc) override;
+    void promote(std::uint32_t set, std::uint32_t way) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+    const char *name() const override { return "mockingjay"; }
+
+    /** Predicted reuse distance for a PC (set-access units); for tests. */
+    std::uint32_t predictedRd(Addr pc) const;
+
+    /** Effective ETR of (set, way); for tests. */
+    int effectiveEtr(std::uint32_t set, std::uint32_t way) const;
+
+  private:
+    static constexpr unsigned kRdpBits = 14;
+    static constexpr std::size_t kRdpSize = std::size_t{1} << kRdpBits;
+    static constexpr std::uint16_t kUnknownRd = 0xffff;
+
+    static std::size_t pcIndex(Addr pc);
+    bool isSampled(std::uint32_t set) const;
+    void train(std::size_t sig, std::uint32_t observed);
+
+    /** Sampled-cache entry: who touched this tag last and when. */
+    struct SampleEntry
+    {
+        std::uint32_t pcSig = 0;
+        std::uint64_t timestamp = 0;
+    };
+
+    struct SampledSet
+    {
+        std::unordered_map<Addr, SampleEntry> entries;
+        std::uint64_t tick = 0;
+    };
+
+    struct LineState
+    {
+        int etr = 0;          //!< in granularity units, signed
+        Tick promoted = 0;    //!< QBS promotion stamp (victim tie-break)
+        bool valid = false;
+        bool prefetched = false;
+    };
+
+    LineState &line(std::uint32_t set, std::uint32_t way)
+    {
+        return lines[std::size_t{set} * assoc + way];
+    }
+
+    const LineState &line(std::uint32_t set, std::uint32_t way) const
+    {
+        return lines[std::size_t{set} * assoc + way];
+    }
+
+    int etrFromRd(std::uint32_t rd) const;
+
+    unsigned sampleShift;
+    std::uint32_t historyLen;
+    int maxEtr;   //!< positive saturation for ETR counters
+    int minEtr;   //!< negative saturation
+    std::uint32_t granularity; //!< set accesses per ETR decrement
+
+    std::vector<std::uint16_t> rdp;
+    std::unordered_map<std::uint32_t, SampledSet> samples;
+    std::vector<LineState> lines;
+    std::vector<std::uint32_t> agingCount; //!< per-set access counter
+    Tick promoteTick = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_POLICY_MOCKINGJAY_HH

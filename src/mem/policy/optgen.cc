@@ -1,0 +1,57 @@
+#include "mem/policy/optgen.hh"
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+OptGen::OptGen(std::uint32_t cache_assoc, std::uint32_t window_)
+    : assocLimit(cache_assoc), window(window_), occupancy(window_, 0)
+{
+    if (cache_assoc == 0 || window_ == 0)
+        panic("OptGen requires non-zero assoc and window");
+}
+
+bool
+OptGen::access(Addr tag)
+{
+    // The slot for "now" starts empty.
+    occupancy[time % window] = 0;
+
+    bool hit = false;
+    auto it = lastAccess.find(tag);
+    if (it != lastAccess.end() && time - it->second < window) {
+        // Liveness interval [prev, now): OPT caches the line iff every
+        // quantum in the interval still has spare capacity.
+        std::uint64_t prev = it->second;
+        bool can_cache = true;
+        for (std::uint64_t t = prev; t < time; ++t) {
+            if (occupancy[t % window] >= assocLimit) {
+                can_cache = false;
+                break;
+            }
+        }
+        if (can_cache) {
+            for (std::uint64_t t = prev; t < time; ++t)
+                ++occupancy[t % window];
+            hit = true;
+            ++hits;
+        }
+    }
+    lastAccess[tag] = time;
+    ++time;
+
+    // Bound the map: drop entries that fell out of the window.  Amortize
+    // by sweeping occasionally.
+    if (lastAccess.size() > 4 * window) {
+        for (auto i = lastAccess.begin(); i != lastAccess.end();) {
+            if (time - i->second >= window)
+                i = lastAccess.erase(i);
+            else
+                ++i;
+        }
+    }
+    return hit;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * OPTgen (Jain & Lin, ISCA'16): computes, for a single cache set, what
+ * Belady's MIN policy would have done, using an occupancy vector over a
+ * sliding window of recent accesses.  Used by Hawkeye to label training
+ * samples, and unit-tested against a brute-force Belady simulator.
+ */
+
+#ifndef GARIBALDI_MEM_POLICY_OPTGEN_HH
+#define GARIBALDI_MEM_POLICY_OPTGEN_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/**
+ * Per-set OPT simulator.  Reuse intervals longer than the window are
+ * treated as cold (misses), exactly as in the Hawkeye paper.
+ */
+class OptGen
+{
+  public:
+    /**
+     * @param cache_assoc ways available to OPT in this set
+     * @param window history window length in accesses (8x assoc typical)
+     */
+    OptGen(std::uint32_t cache_assoc, std::uint32_t window);
+
+    /**
+     * Record an access to @p tag; returns true when OPT would have hit.
+     * Cold and out-of-window accesses return false.
+     */
+    bool access(Addr tag);
+
+    /** Number of accesses processed. */
+    std::uint64_t accesses() const { return time; }
+
+    /** Number of OPT hits determined so far. */
+    std::uint64_t optHits() const { return hits; }
+
+  private:
+    std::uint32_t assocLimit;
+    std::uint32_t window;
+    std::vector<std::uint32_t> occupancy; // circular, indexed by time
+    std::unordered_map<Addr, std::uint64_t> lastAccess;
+    std::uint64_t time = 0;
+    std::uint64_t hits = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_POLICY_OPTGEN_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Random replacement; useful as a sanity baseline and in tests.
+ */
+
+#ifndef GARIBALDI_MEM_POLICY_RANDOM_HH
+#define GARIBALDI_MEM_POLICY_RANDOM_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/policy/replacement.hh"
+
+namespace garibaldi
+{
+
+/**
+ * Uniform-random victim selection.  promote() shields the promoted way
+ * from the immediately following victim() call so QBS retries make
+ * progress.
+ */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                 std::uint64_t seed);
+
+    void onHit(std::uint32_t, std::uint32_t, const MemAccess &) override {}
+    std::uint32_t victim(std::uint32_t set, const MemAccess &acc) override;
+    void onInsert(std::uint32_t, std::uint32_t, const MemAccess &) override
+    {}
+    void promote(std::uint32_t set, std::uint32_t way) override;
+    const char *name() const override { return "random"; }
+
+  private:
+    Pcg32 rng;
+    std::vector<std::int32_t> shielded; // per-set way to avoid, or -1
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_POLICY_RANDOM_HH

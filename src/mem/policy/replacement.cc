@@ -1,0 +1,87 @@
+#include "mem/policy/replacement.hh"
+
+#include "common/logging.hh"
+#include "mem/policy/hawkeye.hh"
+#include "mem/policy/lru.hh"
+#include "mem/policy/mockingjay.hh"
+#include "mem/policy/random.hh"
+#include "mem/policy/rrip.hh"
+#include "mem/policy/ship.hh"
+
+namespace garibaldi
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::LRU:
+        return "lru";
+      case PolicyKind::Random:
+        return "random";
+      case PolicyKind::SRRIP:
+        return "srrip";
+      case PolicyKind::DRRIP:
+        return "drrip";
+      case PolicyKind::SHiP:
+        return "ship";
+      case PolicyKind::Hawkeye:
+        return "hawkeye";
+      case PolicyKind::Mockingjay:
+        return "mockingjay";
+      default:
+        return "?";
+    }
+}
+
+PolicyKind
+parsePolicyKind(const std::string &name)
+{
+    if (name == "lru")
+        return PolicyKind::LRU;
+    if (name == "random")
+        return PolicyKind::Random;
+    if (name == "srrip")
+        return PolicyKind::SRRIP;
+    if (name == "drrip")
+        return PolicyKind::DRRIP;
+    if (name == "ship")
+        return PolicyKind::SHiP;
+    if (name == "hawkeye")
+        return PolicyKind::Hawkeye;
+    if (name == "mockingjay")
+        return PolicyKind::Mockingjay;
+    fatal("unknown replacement policy '", name, "'");
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,
+           const PolicyParams &params)
+{
+    switch (kind) {
+      case PolicyKind::LRU:
+        return std::make_unique<LruPolicy>(num_sets, assoc);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(num_sets, assoc,
+                                              params.seed);
+      case PolicyKind::SRRIP:
+        return std::make_unique<SrripPolicy>(num_sets, assoc,
+                                             params.counterBits);
+      case PolicyKind::DRRIP:
+        return std::make_unique<DrripPolicy>(num_sets, assoc,
+                                             params.counterBits,
+                                             params.seed);
+      case PolicyKind::SHiP:
+        return std::make_unique<ShipPolicy>(num_sets, assoc,
+                                            params.counterBits);
+      case PolicyKind::Hawkeye:
+        return std::make_unique<HawkeyePolicy>(num_sets, assoc, params);
+      case PolicyKind::Mockingjay:
+        return std::make_unique<MockingjayPolicy>(num_sets, assoc,
+                                                  params);
+      default:
+        panic("makePolicy: bad kind");
+    }
+}
+
+} // namespace garibaldi

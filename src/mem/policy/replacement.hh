@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Replacement policy interface and factory.
+ *
+ * The interface is intentionally richer than gem5's: PC-indexed
+ * predictive policies (SHiP, Hawkeye, Mockingjay) observe every access
+ * to train, and the QBS-style promote() hook lets Garibaldi reset a
+ * protected victim's eviction priority without the policy knowing why
+ * (§4.2 of the paper).
+ */
+
+#ifndef GARIBALDI_MEM_POLICY_REPLACEMENT_HH
+#define GARIBALDI_MEM_POLICY_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace garibaldi
+{
+
+/** Replacement policy selector. */
+enum class PolicyKind : std::uint8_t
+{
+    LRU = 0,
+    Random,
+    SRRIP,
+    DRRIP,
+    SHiP,
+    Hawkeye,
+    Mockingjay,
+};
+
+/** Human-readable policy name. */
+const char *policyKindName(PolicyKind kind);
+
+/** Parse a policy name ("lru", "drrip", "mockingjay", ...). */
+PolicyKind parsePolicyKind(const std::string &name);
+
+/** Tunables shared by the predictive policies. */
+struct PolicyParams
+{
+    /** RRPV / ETR counter width in bits (Table 3 methodology: 5). */
+    unsigned counterBits = 3;
+    /** Sample one of every 2^sampleShift sets for history-based policies. */
+    unsigned sampleShift = 3;
+    /** History length as a multiple of associativity (paper: 8x). */
+    unsigned historyAssocMult = 8;
+    /** Seed for randomized policies. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Abstract per-cache replacement policy.  The cache calls:
+ *  - onAccess() for every demand lookup (training hook, before outcome),
+ *  - onHit() when the lookup hits,
+ *  - victim() when an insertion needs a frame and no way is invalid,
+ *  - onInsert() after the new line is placed,
+ *  - promote() to reset a line's eviction priority to the lowest
+ *    (the QBS protection action),
+ *  - onEvict() when a line leaves the cache.
+ */
+class ReplacementPolicy
+{
+  public:
+    /**
+     * @param num_sets number of sets in the cache
+     * @param assoc associativity
+     */
+    ReplacementPolicy(std::uint32_t num_sets, std::uint32_t assoc)
+        : numSets(num_sets), assoc(assoc)
+    {}
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** Training hook invoked for every demand lookup. */
+    virtual void onAccess(std::uint32_t set, const MemAccess &acc,
+                          bool hit)
+    {
+        (void)set;
+        (void)acc;
+        (void)hit;
+    }
+
+    /** The lookup hit way @p way. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way,
+                       const MemAccess &acc) = 0;
+
+    /** Choose the eviction victim way in @p set (all ways valid). */
+    virtual std::uint32_t victim(std::uint32_t set,
+                                 const MemAccess &acc) = 0;
+
+    /** A new line was inserted into (set, way). */
+    virtual void onInsert(std::uint32_t set, std::uint32_t way,
+                          const MemAccess &acc) = 0;
+
+    /** Reset (set, way) to the lowest eviction priority (QBS action). */
+    virtual void promote(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A line was evicted or invalidated from (set, way). */
+    virtual void onEvict(std::uint32_t set, std::uint32_t way)
+    {
+        (void)set;
+        (void)way;
+    }
+
+    /** Policy name for reports. */
+    virtual const char *name() const = 0;
+
+  protected:
+    std::uint32_t numSets;
+    std::uint32_t assoc;
+};
+
+/** Instantiate a policy for the given geometry. */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,
+           const PolicyParams &params = {});
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_POLICY_REPLACEMENT_HH

@@ -1,0 +1,57 @@
+#include "mem/policy/ship.hh"
+
+#include "common/intmath.hh"
+
+namespace garibaldi
+{
+
+ShipPolicy::ShipPolicy(std::uint32_t num_sets, std::uint32_t assoc_,
+                       unsigned counter_bits)
+    : SrripPolicy(num_sets, assoc_, counter_bits),
+      shct(kShctSize, SatCounter(3, 1)),
+      lineState(std::size_t{num_sets} * assoc_)
+{
+}
+
+std::size_t
+ShipPolicy::signature(Addr pc)
+{
+    return static_cast<std::size_t>(mix64(pc >> 2)) & (kShctSize - 1);
+}
+
+void
+ShipPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                  const MemAccess &acc)
+{
+    SrripPolicy::onHit(set, way, acc);
+    LineState &ls = state(set, way);
+    if (ls.valid && !ls.outcome) {
+        ls.outcome = true;
+        shct[ls.sig].increment();
+    }
+}
+
+void
+ShipPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                     const MemAccess &acc)
+{
+    std::size_t sig = signature(acc.pc);
+    LineState &ls = state(set, way);
+    ls.sig = static_cast<std::uint32_t>(sig);
+    ls.outcome = false;
+    ls.valid = true;
+    // Zero counter => predicted dead-on-arrival => distant insertion.
+    insertWith(set, way, shct[sig].value() == 0 ? maxRrpv : maxRrpv - 1);
+}
+
+void
+ShipPolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    LineState &ls = state(set, way);
+    if (ls.valid && !ls.outcome)
+        shct[ls.sig].decrement();
+    ls.valid = false;
+    SrripPolicy::onEvict(set, way);
+}
+
+} // namespace garibaldi

@@ -1,0 +1,60 @@
+#include "mem/prefetch/ghb.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+GhbPrefetcher::GhbPrefetcher(std::size_t table_entries, unsigned degree_)
+    : table(table_entries), degree(degree_ == 0 ? 1 : degree_)
+{
+    checkPowerOf2(table_entries, "GHB table size");
+}
+
+std::size_t
+GhbPrefetcher::indexOf(Addr pc) const
+{
+    return static_cast<std::size_t>(mix64(pc >> 2)) & (table.size() - 1);
+}
+
+void
+GhbPrefetcher::observe(const MemAccess &acc, bool, std::vector<Addr> &out)
+{
+    if (acc.isPrefetch || acc.isInstr)
+        return;
+    Entry &e = table[indexOf(acc.pc)];
+    Addr line = lineNumber(acc.lineAddr());
+
+    if (!e.valid || e.pcTag != acc.pc) {
+        e = Entry{};
+        e.pcTag = acc.pc;
+        e.lastLine = line;
+        e.valid = true;
+        return;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(line) -
+                         static_cast<std::int64_t>(e.lastLine);
+    if (delta != 0 && delta == e.lastDelta) {
+        e.conf.increment();
+    } else {
+        e.conf.decrement();
+        e.lastDelta = delta;
+    }
+    e.lastLine = line;
+
+    if (delta != 0 && e.conf.value() >= 2) {
+        for (unsigned d = 1; d <= degree; ++d) {
+            std::int64_t target = static_cast<std::int64_t>(line) +
+                                  delta * static_cast<std::int64_t>(d);
+            if (target <= 0)
+                break;
+            out.push_back((static_cast<Addr>(target) << kLineShift) &
+                          kPhysAddrMask);
+            ++nIssued;
+        }
+    }
+}
+
+} // namespace garibaldi

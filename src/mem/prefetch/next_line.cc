@@ -1,0 +1,24 @@
+#include "mem/prefetch/next_line.hh"
+
+namespace garibaldi
+{
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned degree_)
+    : degree(degree_ == 0 ? 1 : degree_)
+{
+}
+
+void
+NextLinePrefetcher::observe(const MemAccess &acc, bool hit,
+                            std::vector<Addr> &out)
+{
+    if (hit || acc.isPrefetch)
+        return;
+    Addr line = acc.lineAddr();
+    for (unsigned d = 1; d <= degree; ++d) {
+        out.push_back((line + d * kLineBytes) & kPhysAddrMask);
+        ++nIssued;
+    }
+}
+
+} // namespace garibaldi

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * McPAT-lite energy model (§6 "We measure the energy using integrated
+ * McPAT"): per-event dynamic energies with CACTI-flavored constants
+ * plus per-cycle static leakage.  The paper reports energy normalized
+ * to LRU, so relative magnitudes are what matters.
+ */
+
+#ifndef GARIBALDI_SIM_ENERGY_HH
+#define GARIBALDI_SIM_ENERGY_HH
+
+#include "common/stats.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+
+namespace garibaldi
+{
+
+/** Per-event / per-cycle energy constants (nJ and W). */
+struct EnergyParams
+{
+    double l1AccessNj = 0.08;
+    double l2AccessNj = 0.35;
+    double llcAccessNj = 1.2;
+    double dramAccessNj = 18.0;
+    double pairTableAccessNj = 0.04; //!< CACTI7 22 nm estimate (§6)
+    double coreDynamicNjPerInstr = 0.45;
+    double staticWattsPerCore = 0.9;
+    double staticWattsLlcPerMb = 0.25;
+    double clockGhz = 3.0;
+};
+
+/** Energy totals in joules. */
+struct EnergyBreakdown
+{
+    double core = 0;
+    double l1 = 0;
+    double l2 = 0;
+    double llc = 0;
+    double dram = 0;
+    double garibaldi = 0;
+    double staticLeakage = 0;
+
+    double
+    total() const
+    {
+        return core + l1 + l2 + llc + dram + garibaldi + staticLeakage;
+    }
+
+    StatSet toStatSet() const;
+};
+
+/** Compute the energy of a finished run. */
+EnergyBreakdown computeEnergy(const SimResult &result,
+                              const SystemConfig &config,
+                              const EnergyParams &params = {});
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_SIM_ENERGY_HH

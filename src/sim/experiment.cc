@@ -1,0 +1,76 @@
+#include "sim/experiment.hh"
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+namespace garibaldi
+{
+
+SystemConfig
+configWithPolicy(const SystemConfig &base, PolicyKind kind,
+                 bool garibaldi_enabled)
+{
+    SystemConfig cfg = base;
+    cfg.llcPolicy = kind;
+    cfg.garibaldiEnabled = garibaldi_enabled;
+    return cfg;
+}
+
+ExperimentContext::ExperimentContext(SystemConfig base_,
+                                     std::uint64_t warmup_,
+                                     std::uint64_t detailed_)
+    : base(std::move(base_)), warmup(warmup_), detailed(detailed_)
+{
+}
+
+SimResult
+ExperimentContext::run(const SystemConfig &config, const Mix &mix) const
+{
+    System system(config, mix);
+    Simulator sim(system);
+    return sim.run(warmup, detailed);
+}
+
+SimResult
+ExperimentContext::runPolicy(PolicyKind kind, bool garibaldi_enabled,
+                             const Mix &mix) const
+{
+    return run(configWithPolicy(base, kind, garibaldi_enabled), mix);
+}
+
+double
+ExperimentContext::soloIpc(const std::string &workload)
+{
+    auto it = soloCache.find(workload);
+    if (it != soloCache.end())
+        return it->second;
+
+    SystemConfig solo = base;
+    solo.numCores = 1;
+    solo.coresPerL2 = 1;
+    solo.llcPolicy = PolicyKind::LRU;
+    solo.garibaldiEnabled = false;
+    solo.llcInstrPartitionWays = 0;
+    solo.llcInstrOracle = false;
+    // Keep the per-core LLC share (§6 keeps 0.75 MB/core when scaling).
+    Mix m = homogeneousMix(workload, 1);
+    SimResult r = run(solo, m);
+    double ipc = r.cores.at(0).ipc;
+    soloCache.emplace(workload, ipc);
+    return ipc;
+}
+
+double
+ExperimentContext::metric(const SimResult &result, const Mix &mix)
+{
+    if (mix.homogeneous())
+        return result.ipcHarmonicMean();
+    std::vector<double> shared, solo;
+    for (std::size_t c = 0; c < result.cores.size(); ++c) {
+        shared.push_back(result.cores[c].ipc);
+        solo.push_back(soloIpc(mix.slots[c]));
+    }
+    return weightedSpeedup(shared, solo);
+}
+
+} // namespace garibaldi

@@ -1,0 +1,53 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double denom = 0;
+    for (double v : values) {
+        if (v <= 0)
+            return 0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values) {
+        if (v <= 0)
+            return 0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+weightedSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &single_ipc)
+{
+    if (shared_ipc.size() != single_ipc.size())
+        fatal("weightedSpeedup: size mismatch");
+    double sum = 0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
+        if (single_ipc[i] <= 0)
+            fatal("weightedSpeedup: non-positive solo IPC");
+        sum += shared_ipc[i] / single_ipc[i];
+    }
+    return sum;
+}
+
+} // namespace garibaldi

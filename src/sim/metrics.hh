@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Performance metrics of §6: harmonic-mean IPC for homogeneous mixes,
+ * weighted speedup (sum of IPC_shared / IPC_single) for heterogeneous
+ * mixes, and geometric means for summary rows.
+ */
+
+#ifndef GARIBALDI_SIM_METRICS_HH
+#define GARIBALDI_SIM_METRICS_HH
+
+#include <vector>
+
+namespace garibaldi
+{
+
+/** Harmonic mean; 0 when any element is non-positive. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Geometric mean; 0 when any element is non-positive. */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Weighted speedup = sum_i IPC_shared[i] / IPC_single[i].
+ * Sizes must match; fatal otherwise.
+ */
+double weightedSpeedup(const std::vector<double> &shared_ipc,
+                       const std::vector<double> &single_ipc);
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_SIM_METRICS_HH

@@ -1,0 +1,192 @@
+#include "sim/monitors.hh"
+
+#include <algorithm>
+
+namespace garibaldi
+{
+
+ReuseDistanceMonitor::ReuseDistanceMonitor(std::uint32_t llc_sets,
+                                           unsigned sample_shift)
+    : numSets(llc_sets), sampleShift(sample_shift)
+{
+}
+
+void
+ReuseDistanceMonitor::observe(const MemAccess &acc, bool)
+{
+    Addr line = acc.lineAddr();
+    std::uint32_t set =
+        static_cast<std::uint32_t>(lineNumber(line)) & (numSets - 1);
+    if (set & ((1u << sampleShift) - 1))
+        return;
+
+    std::vector<Addr> &stack = stacks[set];
+    auto it = std::find(stack.begin(), stack.end(), line);
+    if (it != stack.end()) {
+        // Stack distance == number of distinct lines touched in this
+        // set since the previous access to `line`.
+        std::uint64_t distance =
+            static_cast<std::uint64_t>(it - stack.begin());
+        if (acc.isInstr)
+            instrDist.add(distance);
+        else
+            dataDist.add(distance);
+        stack.erase(it);
+    }
+    stack.insert(stack.begin(), line);
+    if (stack.size() > 512)
+        stack.pop_back();
+}
+
+StatSet
+ReuseDistanceMonitor::stats() const
+{
+    StatSet s;
+    s.add("instr_mean_distance", instrDist.mean());
+    s.add("data_mean_distance", dataDist.mean());
+    s.add("instr_p90_distance",
+          static_cast<double>(instrDist.percentile(0.9)));
+    s.add("data_p90_distance",
+          static_cast<double>(dataDist.percentile(0.9)));
+    s.add("instr_samples", static_cast<double>(instrDist.count()));
+    s.add("data_samples", static_cast<double>(dataDist.count()));
+    return s;
+}
+
+void
+LineFrequencyMonitor::observe(const MemAccess &acc, bool)
+{
+    Addr line = acc.lineAddr();
+    if (acc.isInstr) {
+        ++instrCounts[line];
+        ++instrAccesses;
+    } else {
+        ++dataCounts[line];
+        ++dataAccesses;
+    }
+}
+
+double
+LineFrequencyMonitor::instrAccessesPerLine() const
+{
+    return instrCounts.empty()
+        ? 0.0
+        : static_cast<double>(instrAccesses) / instrCounts.size();
+}
+
+double
+LineFrequencyMonitor::dataAccessesPerLine() const
+{
+    return dataCounts.empty()
+        ? 0.0
+        : static_cast<double>(dataAccesses) / dataCounts.size();
+}
+
+double
+LineFrequencyMonitor::instrAccessRatio() const
+{
+    std::uint64_t total = instrAccesses + dataAccesses;
+    return total ? static_cast<double>(instrAccesses) / total : 0.0;
+}
+
+StatSet
+LineFrequencyMonitor::stats() const
+{
+    StatSet s;
+    s.add("instr_accesses_per_line", instrAccessesPerLine());
+    s.add("data_accesses_per_line", dataAccessesPerLine());
+    s.add("instr_access_ratio", instrAccessRatio());
+    s.add("distinct_instr_lines",
+          static_cast<double>(instrCounts.size()));
+    s.add("distinct_data_lines", static_cast<double>(dataCounts.size()));
+    return s;
+}
+
+void
+PairingMonitor::observe(const MemAccess &acc, bool hit)
+{
+    if (acc.isInstr) {
+        // Instruction accesses are keyed by their own virtual line.
+        InstrLineStats &st = instrLines[lineAlign(acc.pc)];
+        ++st.accesses;
+        if (!hit)
+            ++st.misses;
+        return;
+    }
+    // Data access: attribute to the triggering instruction's line (the
+    // PC travels with every request, §5.1).
+    Addr il = lineAlign(acc.pc);
+    InstrLineStats &st = instrLines[il];
+    if (hit)
+        ++st.dataHits;
+    else
+        ++st.dataMisses;
+
+    if (hit) {
+        // Sharing degree: count distinct consecutive instruction lines
+        // touching each hot data line (exact set tracking is too big;
+        // consecutive-distinct is a faithful lower bound).
+        Addr dl = acc.lineAddr();
+        auto [it, inserted] = dataLastSharer.try_emplace(dl, il);
+        if (inserted) {
+            dataSharers[dl] = 1;
+        } else if (it->second != il) {
+            it->second = il;
+            ++dataSharers[dl];
+        }
+    }
+}
+
+double
+PairingMonitor::instrMissRateDataHot() const
+{
+    std::uint64_t acc = 0, miss = 0;
+    for (const auto &[line, st] : instrLines) {
+        if (st.accesses == 0 || st.dataHits + st.dataMisses == 0)
+            continue;
+        if (st.dataHits >= st.dataMisses) {
+            acc += st.accesses;
+            miss += st.misses;
+        }
+    }
+    return acc ? static_cast<double>(miss) / acc : 0.0;
+}
+
+double
+PairingMonitor::instrMissRateDataCold() const
+{
+    std::uint64_t acc = 0, miss = 0;
+    for (const auto &[line, st] : instrLines) {
+        if (st.accesses == 0 || st.dataHits + st.dataMisses == 0)
+            continue;
+        if (st.dataHits < st.dataMisses) {
+            acc += st.accesses;
+            miss += st.misses;
+        }
+    }
+    return acc ? static_cast<double>(miss) / acc : 0.0;
+}
+
+double
+PairingMonitor::dataSharingDegree() const
+{
+    if (dataSharers.empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (const auto &[line, n] : dataSharers)
+        sum += n;
+    return static_cast<double>(sum) / dataSharers.size();
+}
+
+StatSet
+PairingMonitor::stats() const
+{
+    StatSet s;
+    s.add("instr_missrate_datahot", instrMissRateDataHot());
+    s.add("instr_missrate_datacold", instrMissRateDataCold());
+    s.add("data_sharing_degree", dataSharingDegree());
+    s.add("tracked_instr_lines", static_cast<double>(instrLines.size()));
+    return s;
+}
+
+} // namespace garibaldi

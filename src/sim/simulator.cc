@@ -1,0 +1,157 @@
+#include "sim/simulator.hh"
+
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+double
+SimResult::ipcSum() const
+{
+    double s = 0;
+    for (const auto &c : cores)
+        s += c.ipc;
+    return s;
+}
+
+double
+SimResult::ipcHarmonicMean() const
+{
+    if (cores.empty())
+        return 0;
+    double denom = 0;
+    for (const auto &c : cores) {
+        if (c.ipc <= 0)
+            return 0;
+        denom += 1.0 / c.ipc;
+    }
+    return static_cast<double>(cores.size()) / denom;
+}
+
+CpiStack
+SimResult::totalCpi() const
+{
+    CpiStack total;
+    for (const auto &c : cores)
+        total.merge(c.cpi);
+    return total;
+}
+
+Cycle
+SimResult::ifetchStallCycles() const
+{
+    return totalCpi().ifetchCycles();
+}
+
+Simulator::Simulator(System &system)
+    : sys(system)
+{
+}
+
+void
+Simulator::runWindow(std::uint64_t instructions_per_core)
+{
+    // Advance whichever core is earliest in simulated time, so accesses
+    // from different cores interleave at the shared levels the way they
+    // would on real hardware.  Ties break on core id => deterministic.
+    using HeapEntry = std::pair<Cycle, CoreId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap;
+    std::vector<std::uint64_t> remaining(sys.numCores(),
+                                         instructions_per_core);
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        heap.emplace(sys.core(c).now(), c);
+
+    // The popped core runs until it passes the next-earliest core's
+    // clock (plus a small hysteresis that amortizes heap traffic).
+    // This keeps cross-core skew bounded by one instruction's stall,
+    // which the DRAM bandwidth model needs for sane queueing.
+    constexpr Cycle kHysteresis = 32;
+
+    while (!heap.empty()) {
+        auto [when, c] = heap.top();
+        heap.pop();
+        (void)when;
+        CoreModel &core = sys.core(c);
+        MicroOpStream &stream = sys.stream(c);
+        Cycle horizon = (heap.empty() ? core.now() + 100000
+                                      : heap.top().first) + kHysteresis;
+        while (remaining[c] > 0 && core.now() <= horizon) {
+            core.step(stream.next());
+            --remaining[c];
+        }
+        if (remaining[c] > 0)
+            heap.emplace(core.now(), c);
+    }
+}
+
+SimResult
+Simulator::run(std::uint64_t warmup_per_core,
+               std::uint64_t detailed_per_core)
+{
+    if (detailed_per_core == 0)
+        fatal("detailed window must be non-zero");
+
+    if (warmup_per_core > 0)
+        runWindow(warmup_per_core);
+
+    // Snapshot shared-structure stats so the detailed window reports
+    // only its own events; cores have explicit reset support.
+    StatSet mem_before = sys.hierarchy().stats();
+    StatSet gari_before;
+    if (sys.garibaldi())
+        gari_before = sys.garibaldi()->stats();
+    auto sum_tlb = [this]() {
+        StatSet agg;
+        for (CoreId c = 0; c < sys.numCores(); ++c) {
+            StatSet per_core = sys.core(c).tlbs().stats();
+            for (const auto &[name, value] : per_core.entries()) {
+                double prev = agg.has(name) ? agg.get(name) : 0.0;
+                agg.add(name, prev + value);
+            }
+        }
+        return agg;
+    };
+    StatSet tlb_before = sum_tlb();
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        sys.core(c).resetStats();
+
+    runWindow(detailed_per_core);
+
+    SimResult res;
+    for (CoreId c = 0; c < sys.numCores(); ++c) {
+        const CoreStats &cs = sys.core(c).stats();
+        CoreResult cr;
+        cr.instructions = cs.instructions;
+        cr.cycles = sys.core(c).windowCycles();
+        cr.ipc = cs.ipc(cr.cycles);
+        cr.cpi = cs.cpi;
+        cr.branches = cs.branches;
+        cr.mispredicts = cs.mispredicts;
+        cr.loads = cs.loads;
+        cr.stores = cs.stores;
+        cr.ifetchLines = cs.ifetchLines;
+        res.cores.push_back(cr);
+    }
+
+    // Counter stats subtract cleanly; derived rates are recomputed by
+    // consumers from the subtracted counters.
+    auto subtract = [](const StatSet &after, const StatSet &before) {
+        StatSet out;
+        for (const auto &[name, value] : after.entries()) {
+            double prev = before.has(name) ? before.get(name) : 0.0;
+            out.add(name, value - prev);
+        }
+        return out;
+    };
+
+    res.mem = subtract(sys.hierarchy().stats(), mem_before);
+    if (sys.garibaldi())
+        res.garibaldi = subtract(sys.garibaldi()->stats(), gari_before);
+    res.tlb = subtract(sum_tlb(), tlb_before);
+    return res;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,389 @@
+#include "workloads/catalog.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+namespace
+{
+
+/**
+ * Baseline server profile: many-to-few (Fig. 3/4 characterization).
+ *
+ * Access-weight arithmetic (block classes execute loopIters times):
+ * with hot 0.60, warm 0.35, stream 0.05 x 5 iters the data-access
+ * shares are roughly hot 50%, warm 29%, stream 21% — a few hot lines
+ * service most accesses while scans provide eviction pressure.
+ * Footprints per core: ~0.5 MB code + 0.25 MB hot + 1.5 MB warm vs a
+ * 0.25 MB L2 share and 0.75 MB LLC share => instruction victims.
+ */
+WorkloadParams
+serverBase(const std::string &name)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.isServer = true;
+    p.numFunctions = 384;            // ~0.4 MB instruction footprint
+    p.functionZipf = 1.1;
+    p.hotBytes = 512 * 1024;         // few hot data lines; the body of
+                                     // this set lives in the LLC (it
+                                     // overflows the 0.25 MB L2 share)
+    p.hotZipf = 0.8;
+    p.warmBytes = 512 * 1024;
+    p.warmZipf = 0.9;
+    p.streamBytes = 4 * 1024 * 1024;
+    p.hotBlockFraction = 0.62;
+    p.streamBlockFraction = 0.06;
+    p.memProb = 0.30;
+    p.storeFraction = 0.25;
+    p.preferredLineProb = 0.5;
+    p.preferredPool = 1024;
+    p.preferredPoolOffset = 1024;
+    p.takenBias = 0.85;
+    p.branchNoise = 0.07;
+    p.repeatHandlerProb = 0.45;
+    p.scanLoopIters = 5;
+    p.dependentLoadFraction = 0.2;
+    return p;
+}
+
+/** Baseline SPEC profile: few-to-many (tiny hot loops, big data). */
+WorkloadParams
+specBase(const std::string &name)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.isServer = false;
+    p.numFunctions = 10;             // ~10 KB instruction footprint
+    p.minBlocksPerFunction = 4;
+    p.maxBlocksPerFunction = 8;
+    p.functionZipf = 0.3;
+    p.hotBytes = 64 * 1024;
+    p.hotZipf = 0.7;
+    p.warmBytes = 6 * 1024 * 1024;
+    p.warmZipf = 0.45;
+    p.streamBytes = 16 * 1024 * 1024;
+    p.hotBlockFraction = 0.15;
+    p.streamBlockFraction = 0.40;
+    p.memProb = 0.42;
+    p.storeFraction = 0.2;
+    p.preferredLineProb = 0.3;
+    p.preferredPool = 64;
+    p.preferredPoolOffset = 0;
+    p.takenBias = 0.9;
+    p.branchNoise = 0.04;
+    p.scanLoopIters = 40;
+    p.blockLoopIters = 4;
+    p.dependentLoadFraction = 0.08;
+    return p;
+}
+
+std::map<std::string, WorkloadParams>
+buildCatalog()
+{
+    std::map<std::string, WorkloadParams> cat;
+    auto put = [&cat](const WorkloadParams &p) { cat[p.name] = p; };
+
+    // ---- OLTPBench / PostgreSQL ------------------------------------
+    {
+        // noop: protocol overhead only; lighter code, little hot data
+        // reuse to exploit (small gains for every policy in Fig. 12).
+        WorkloadParams p = serverBase("noop");
+        p.numFunctions = 288;
+        p.hotBytes = 128 * 1024;
+        p.hotZipf = 0.6;
+        p.hotBlockFraction = 0.45;
+        put(p);
+    }
+    {
+        // smallbank: compact transactions over a small hot table —
+        // steady modest Garibaldi gains across LLC sizes (Fig. 16).
+        WorkloadParams p = serverBase("smallbank");
+        p.numFunctions = 448;
+        p.hotBytes = 192 * 1024;
+        p.hotZipf = 1.0;
+        put(p);
+    }
+    {
+        // tpcc: the richest OLTP mix; larger code, mixed data.
+        WorkloadParams p = serverBase("tpcc");
+        p.numFunctions = 512;
+        p.hotBytes = 384 * 1024;
+        p.hotZipf = 0.85;
+        p.warmBytes = 2 * 1024 * 1024;
+        put(p);
+    }
+    {
+        // voter: tiny hot rows hammered by scattered handler code.
+        WorkloadParams p = serverBase("voter");
+        p.numFunctions = 512;
+        p.hotBytes = 128 * 1024;
+        p.hotZipf = 1.1;
+        p.preferredPool = 512;
+        p.preferredPoolOffset = 512;
+        put(p);
+    }
+    {
+        // sibench: snapshot-isolation reader/writer pairs.
+        WorkloadParams p = serverBase("sibench");
+        p.numFunctions = 384;
+        p.hotBytes = 160 * 1024;
+        p.hotZipf = 0.95;
+        p.storeFraction = 0.35;
+        put(p);
+    }
+    {
+        // tatp: in-memory telecom lookups; with kafka the energy
+        // outlier (cold-ish data next to a big instruction footprint).
+        WorkloadParams p = serverBase("tatp");
+        p.numFunctions = 448;
+        p.hotBytes = 1024 * 1024;
+        p.hotZipf = 0.4;
+        p.hotBlockFraction = 0.5;
+        p.streamBlockFraction = 0.08;
+        put(p);
+    }
+    {
+        // twitter: skewed social graph reads.
+        WorkloadParams p = serverBase("twitter");
+        p.numFunctions = 544;
+        p.hotBytes = 320 * 1024;
+        p.hotZipf = 1.05;
+        p.warmBytes = 2 * 1024 * 1024;
+        put(p);
+    }
+    {
+        // ycsb: uniform-ish key-value accesses; data colder.
+        WorkloadParams p = serverBase("ycsb");
+        p.numFunctions = 480;
+        p.hotBytes = 512 * 1024;
+        p.hotZipf = 0.55;
+        p.streamBlockFraction = 0.08;
+        put(p);
+    }
+
+    // ---- DaCapo ------------------------------------------------------
+    {
+        // cassandra: wide Java storage stack; big code footprint.
+        WorkloadParams p = serverBase("cassandra");
+        p.numFunctions = 576;
+        p.hotBytes = 384 * 1024;
+        p.hotZipf = 0.8;
+        p.warmBytes = 3 * 1024 * 1024;
+        p.branchNoise = 0.09;
+        put(p);
+    }
+    {
+        // tomcat: servlet dispatch; large code, hot session state.
+        WorkloadParams p = serverBase("tomcat");
+        p.numFunctions = 512;
+        p.hotBytes = 256 * 1024;
+        p.hotZipf = 0.9;
+        p.functionZipf = 0.5;
+        put(p);
+    }
+    {
+        // kafka: log-structured streaming — instructions AND data cold,
+        // the longest reuse distances of all workloads; Garibaldi's
+        // protection trades away data caching for little gain (the
+        // paper's negative case).
+        WorkloadParams p = serverBase("kafka");
+        p.numFunctions = 640;
+        p.functionZipf = 0.2;        // scattered, cold code
+        p.hotBytes = 2 * 1024 * 1024;
+        p.hotZipf = 0.15;            // "hot" region barely reused
+        p.warmBytes = 4 * 1024 * 1024;
+        p.warmZipf = 0.1;
+        p.streamBytes = 12 * 1024 * 1024;
+        p.hotBlockFraction = 0.35;
+        p.streamBlockFraction = 0.15;
+        p.preferredLineProb = 0.1;
+        put(p);
+    }
+    {
+        // xalan: the Fig. 4(c) exception — its hot data is touched by
+        // concentrated (hot) code, so instructions paired with hot data
+        // miss *less* than those paired with cold data.
+        WorkloadParams p = serverBase("xalan");
+        p.numFunctions = 320;
+        p.functionZipf = 1.3;        // very concentrated code
+        p.hotBlockFraction = 0.35;
+        p.streamBlockFraction = 0.12;
+        p.scanLoopIters = 10;
+        put(p);
+    }
+
+    // ---- Renaissance -------------------------------------------------
+    {
+        // finagle-http: RPC stack; strong associativity sensitivity
+        // (Fig. 17) — big scattered code over few hot buffers.
+        WorkloadParams p = serverBase("finagle-http");
+        p.numFunctions = 480;
+        p.functionZipf = 0.45;
+        p.hotBytes = 224 * 1024;
+        p.hotZipf = 1.0;
+        p.preferredPool = 768;
+        p.preferredPoolOffset = 768;
+        put(p);
+    }
+    {
+        // dotty: Scala compiler; large code, warm-heavy data.
+        WorkloadParams p = serverBase("dotty");
+        p.numFunctions = 512;
+        p.hotBytes = 320 * 1024;
+        p.hotZipf = 0.7;
+        p.warmBytes = 3 * 1024 * 1024;
+        p.hotBlockFraction = 0.5;
+        put(p);
+    }
+
+    // ---- Chipyard ------------------------------------------------------
+    {
+        // verilator: generated simulator code — an extreme instruction
+        // footprint whose data (the simulated design state) is tiny and
+        // intensely shared; the paper's best case (+65% at Fig. 12).
+        WorkloadParams p = serverBase("verilator");
+        p.numFunctions = 512;
+        p.functionZipf = 1.2;
+        p.hotBytes = 160 * 1024;
+        p.hotZipf = 1.15;
+        p.hotBlockFraction = 0.72;
+        p.streamBlockFraction = 0.03;
+        p.preferredPool = 512;       // heavy IL->DL sharing
+        p.preferredPoolOffset = 640;
+        p.preferredLineProb = 0.6;
+        p.memProb = 0.36;
+        p.dependentLoadFraction = 0.25;
+        put(p);
+    }
+
+    // ---- BrowserBench ---------------------------------------------------
+    {
+        // speedometer2.0: JS framework churn; big code, medium data.
+        WorkloadParams p = serverBase("speedometer2.0");
+        p.numFunctions = 448;
+        p.hotBytes = 256 * 1024;
+        p.hotZipf = 0.75;
+        p.branchNoise = 0.1;
+        p.warmBytes = 2 * 1024 * 1024;
+        put(p);
+    }
+
+    // ---- SPEC-like comparison points (Fig. 1/3/15) ---------------------
+    {
+        WorkloadParams p = specBase("gcc");
+        p.numFunctions = 96;         // the biggest SPEC code here
+        p.hotBlockFraction = 0.25;
+        p.streamBlockFraction = 0.25;
+        p.branchNoise = 0.12;
+        p.takenBias = 0.8;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("gobmk");
+        p.numFunctions = 64;
+        p.branchNoise = 0.2;         // notoriously unpredictable
+        p.takenBias = 0.7;
+        p.hotBlockFraction = 0.2;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("bwaves");
+        p.streamBlockFraction = 0.6;
+        p.scanLoopIters = 80;
+        p.memProb = 0.5;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("lbm");
+        p.streamBlockFraction = 0.65;
+        p.scanLoopIters = 64;
+        p.memProb = 0.55;
+        p.storeFraction = 0.45;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("cam4");
+        p.numFunctions = 48;
+        p.streamBlockFraction = 0.45;
+        p.warmBytes = 8 * 1024 * 1024;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("wrf");
+        p.numFunctions = 56;
+        p.streamBlockFraction = 0.5;
+        p.scanLoopIters = 48;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("bzip2");
+        p.hotBytes = 256 * 1024;
+        p.hotZipf = 0.9;
+        p.hotBlockFraction = 0.35;
+        p.streamBlockFraction = 0.25;
+        p.scanLoopIters = 24;
+        put(p);
+    }
+    {
+        WorkloadParams p = specBase("mcf");
+        p.warmBytes = 12 * 1024 * 1024;
+        p.warmZipf = 0.5;
+        p.hotBlockFraction = 0.2;
+        p.streamBlockFraction = 0.2;
+        p.dependentLoadFraction = 0.6; // pointer chasing
+        put(p);
+    }
+
+    return cat;
+}
+
+const std::map<std::string, WorkloadParams> &
+catalog()
+{
+    static const std::map<std::string, WorkloadParams> cat =
+        buildCatalog();
+    return cat;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+serverWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "noop", "smallbank", "tpcc", "voter", "sibench", "tatp",
+        "twitter", "ycsb", "cassandra", "dotty", "finagle-http",
+        "kafka", "speedometer2.0", "tomcat", "verilator", "xalan",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+specWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "gcc", "gobmk", "bwaves", "lbm", "cam4", "wrf", "bzip2", "mcf",
+    };
+    return names;
+}
+
+WorkloadParams
+workloadByName(const std::string &name)
+{
+    auto it = catalog().find(name);
+    if (it == catalog().end())
+        fatal("unknown workload '", name, "'");
+    return it->second;
+}
+
+bool
+workloadExists(const std::string &name)
+{
+    return catalog().count(name) != 0;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Named workload catalog (Table 3): the paper's 16 server workloads
+ * (DaCapo, Renaissance, OLTPBench/PostgreSQL, Chipyard, BrowserBench)
+ * and 8 SPEC-like comparison points, each as a synthetic parameter set
+ * tuned to its reported qualitative traits.
+ */
+
+#ifndef GARIBALDI_WORKLOADS_CATALOG_HH
+#define GARIBALDI_WORKLOADS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload_params.hh"
+
+namespace garibaldi
+{
+
+/** The 16 server workload names of Table 3, in the paper's order. */
+const std::vector<std::string> &serverWorkloadNames();
+
+/** The SPEC-like workload names used in Fig. 1/3 comparisons. */
+const std::vector<std::string> &specWorkloadNames();
+
+/** Look up a workload parameter set by name; fatal() when unknown. */
+WorkloadParams workloadByName(const std::string &name);
+
+/** True when @p name exists in the catalog. */
+bool workloadExists(const std::string &name);
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_WORKLOADS_CATALOG_HH

@@ -1,0 +1,48 @@
+#include "workloads/data_space.hh"
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+namespace
+{
+
+std::uint64_t
+linesOf(std::uint64_t bytes)
+{
+    std::uint64_t lines = bytes / kLineBytes;
+    return lines ? lines : 1;
+}
+
+} // namespace
+
+DataSpace::DataSpace(const WorkloadParams &params)
+    : hotLineCount(linesOf(params.hotBytes)),
+      warmLineCount(linesOf(params.warmBytes)),
+      streamLineCount(linesOf(params.streamBytes)),
+      hotSampler(hotLineCount, params.hotZipf),
+      warmSampler(warmLineCount, params.warmZipf)
+{
+}
+
+Addr
+DataSpace::sample(DataClass cls, Pcg32 &rng)
+{
+    switch (cls) {
+      case DataClass::Hot:
+        return kHotBase + hotSampler.sample(rng) * kLineBytes;
+      case DataClass::Warm:
+        return kWarmBase + warmSampler.sample(rng) * kLineBytes;
+      case DataClass::Stream:
+      default: {
+          // Sequential walk with wraparound: classic scan behavior.
+          Addr a = kStreamBase + (streamCursor % streamLineCount) *
+                                     kLineBytes;
+          ++streamCursor;
+          return a;
+      }
+    }
+}
+
+} // namespace garibaldi

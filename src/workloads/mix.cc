@@ -1,0 +1,78 @@
+#include "workloads/mix.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/catalog.hh"
+
+namespace garibaldi
+{
+
+bool
+Mix::homogeneous() const
+{
+    return std::all_of(slots.begin(), slots.end(),
+                       [this](const std::string &s) {
+                           return s == slots.front();
+                       });
+}
+
+Mix
+homogeneousMix(const std::string &workload, std::uint32_t cores)
+{
+    if (!workloadExists(workload))
+        fatal("homogeneousMix: unknown workload '", workload, "'");
+    Mix m;
+    m.name = workload;
+    m.slots.assign(cores, workload);
+    return m;
+}
+
+Mix
+randomServerMix(std::uint64_t seed, std::uint32_t cores)
+{
+    const auto &names = serverWorkloadNames();
+    Pcg32 rng(seed, 0x5eed0001);
+    Mix m;
+    m.name = "mix" + std::to_string(seed);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        m.slots.push_back(names[rng.nextBounded(
+            static_cast<std::uint32_t>(names.size()))]);
+    return m;
+}
+
+Mix
+serverFractionMix(std::uint64_t seed, std::uint32_t cores,
+                  double server_fraction)
+{
+    const auto &server = serverWorkloadNames();
+    const auto &spec = specWorkloadNames();
+    Pcg32 rng(seed, 0x5eed0002);
+    std::uint32_t server_cores = static_cast<std::uint32_t>(
+        server_fraction * cores + 0.5);
+    Mix m;
+    m.name = "frac" + std::to_string(static_cast<int>(
+                 server_fraction * 100)) + "_" + std::to_string(seed);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        if (c < server_cores) {
+            m.slots.push_back(server[rng.nextBounded(
+                static_cast<std::uint32_t>(server.size()))]);
+        } else {
+            m.slots.push_back(spec[rng.nextBounded(
+                static_cast<std::uint32_t>(spec.size()))]);
+        }
+    }
+    return m;
+}
+
+Mix
+explicitMix(std::string name, std::vector<std::string> slots)
+{
+    for (const auto &s : slots)
+        if (!workloadExists(s))
+            fatal("explicitMix: unknown workload '", s, "'");
+    return {std::move(name), std::move(slots)};
+}
+
+} // namespace garibaldi

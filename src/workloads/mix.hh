@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multiprogrammed workload mixes: one workload instance per core, as in
+ * the paper's methodology (homogeneous mixes for Fig. 12/13/16/17,
+ * random mixes for Fig. 11/14, server/SPEC fraction mixes for
+ * Fig. 15(a)).
+ */
+
+#ifndef GARIBALDI_WORKLOADS_MIX_HH
+#define GARIBALDI_WORKLOADS_MIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace garibaldi
+{
+
+/** A per-core workload assignment. */
+struct Mix
+{
+    std::string name;
+    std::vector<std::string> slots; //!< workload name per core
+
+    bool homogeneous() const;
+};
+
+/** All cores run instances of @p workload. */
+Mix homogeneousMix(const std::string &workload, std::uint32_t cores);
+
+/** Random draw (with replacement) from the 16 server workloads. */
+Mix randomServerMix(std::uint64_t seed, std::uint32_t cores);
+
+/**
+ * Mix with @p server_fraction of the cores running server workloads
+ * and the rest SPEC workloads (Fig. 15(a)).
+ */
+Mix serverFractionMix(std::uint64_t seed, std::uint32_t cores,
+                      double server_fraction);
+
+/** Explicit assignment. */
+Mix explicitMix(std::string name, std::vector<std::string> slots);
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_WORKLOADS_MIX_HH

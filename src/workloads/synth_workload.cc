@@ -1,0 +1,146 @@
+#include "workloads/synth_workload.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+namespace
+{
+
+/** Build-time RNG: layout must not depend on the walk seed. */
+Pcg32
+layoutRng(const WorkloadParams &p)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : p.name)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    return Pcg32(h, 0x1a7ab1e);
+}
+
+} // namespace
+
+SynthWorkload::SynthWorkload(const WorkloadParams &params,
+                             std::uint64_t seed)
+    : p(params), walkRng(seed, mix64(seed) | 1),
+      code([this] {
+          Pcg32 r = layoutRng(p);
+          return CodeLayout(p, r, DataSpace::kHotBase);
+      }()),
+      data(p),
+      funcSampler(p.numFunctions, p.functionZipf)
+{
+    enterHandler();
+    phase = Phase::Dispatch;
+    dispatchIdx = 0;
+}
+
+void
+SynthWorkload::enterHandler()
+{
+    if (!walkRng.chance(p.repeatHandlerProb))
+        curFunc = static_cast<std::uint32_t>(
+            funcSampler.sample(walkRng));
+    blockOffset = 0;
+    instrIdx = 0;
+    loopRemaining = code.block(code.function(curFunc).firstBlock)
+                        .loopIters;
+}
+
+MicroOp
+SynthWorkload::makePlain(Addr pc) const
+{
+    MicroOp op;
+    op.pc = pc;
+    return op;
+}
+
+void
+SynthWorkload::attachMemOp(MicroOp &op, const BlockInfo &bi)
+{
+    if (!walkRng.chance(bi.memProb))
+        return;
+    Addr vaddr;
+    if (bi.cls == DataClass::Hot &&
+        walkRng.chance(p.preferredLineProb)) {
+        vaddr = bi.preferredLine;
+    } else {
+        vaddr = data.sample(bi.cls, walkRng);
+    }
+    op.vaddr = vaddr;
+    op.mem = walkRng.chance(bi.storeFraction) ? MicroOp::MemKind::Store
+                                              : MicroOp::MemKind::Load;
+}
+
+MicroOp
+SynthWorkload::next()
+{
+    if (phase == Phase::Dispatch) {
+        Addr pc = kDispatcherPc + dispatchIdx * CodeLayout::kInstrBytes;
+        if (dispatchIdx + 1 < kDispatchLen) {
+            ++dispatchIdx;
+            return makePlain(pc);
+        }
+        // Indirect call into the Zipf-selected handler.
+        enterHandler();
+        MicroOp op = makePlain(pc);
+        op.isBranch = true;
+        op.isIndirect = true;
+        op.branchTaken = true;
+        op.branchTarget = code.function(curFunc).entry;
+        phase = Phase::Block;
+        dispatchIdx = 0;
+        return op;
+    }
+
+    const FunctionInfo &fi = code.function(curFunc);
+    const BlockInfo &bi = code.block(fi.firstBlock + blockOffset);
+
+    Addr pc = bi.pc + instrIdx * CodeLayout::kInstrBytes;
+    bool last_instr = instrIdx + 1 >= bi.numInstrs;
+
+    if (!last_instr) {
+        MicroOp op = makePlain(pc);
+        attachMemOp(op, bi);
+        ++instrIdx;
+        return op;
+    }
+
+    // Terminating instruction of the block iteration: a branch.
+    MicroOp op = makePlain(pc);
+    op.isBranch = true;
+
+    if (loopRemaining > 1) {
+        // Back edge of a loop: highly predictable taken branch.
+        --loopRemaining;
+        instrIdx = 0;
+        op.branchTaken = true;
+        op.branchTarget = bi.pc;
+        return op;
+    }
+
+    bool taken = walkRng.chance(bi.takenProb);
+    // Taken branches skip the next block (control-flow divergence);
+    // fall-through executes it.
+    std::uint32_t advance = taken ? 2 : 1;
+    std::uint32_t next_offset = blockOffset + advance;
+
+    if (next_offset >= fi.numBlocks) {
+        // Return to the dispatcher.
+        op.branchTaken = true;
+        op.branchTarget = kDispatcherPc;
+        phase = Phase::Dispatch;
+        dispatchIdx = 0;
+        return op;
+    }
+
+    op.branchTaken = taken;
+    op.branchTarget = code.block(fi.firstBlock + next_offset).pc;
+    blockOffset = next_offset;
+    instrIdx = 0;
+    loopRemaining = code.block(fi.firstBlock + blockOffset).loopIters;
+    return op;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The synthetic workload engine: a stochastic walk over the generated
+ * CFG that emits MicroOps.  Execution alternates between a dispatcher
+ * (indirect call to a Zipf-selected handler — the request-dispatch
+ * pattern of server software) and handler bodies whose blocks touch
+ * the data regions according to their class.
+ */
+
+#ifndef GARIBALDI_WORKLOADS_SYNTH_WORKLOAD_HH
+#define GARIBALDI_WORKLOADS_SYNTH_WORKLOAD_HH
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "workloads/code_layout.hh"
+#include "workloads/data_space.hh"
+#include "workloads/microop.hh"
+#include "workloads/workload_params.hh"
+
+namespace garibaldi
+{
+
+/** A deterministic, infinite MicroOp stream for one workload instance. */
+class SynthWorkload : public MicroOpStream
+{
+  public:
+    /** Virtual PC of the dispatcher loop. */
+    static constexpr Addr kDispatcherPc = 0x00300000;
+    /** Instructions emitted per dispatch iteration (incl. the call). */
+    static constexpr unsigned kDispatchLen = 4;
+
+    /**
+     * @param params workload description
+     * @param seed instance seed; distinct (workload, core) instances
+     *        produce distinct but statistically identical streams
+     */
+    SynthWorkload(const WorkloadParams &params, std::uint64_t seed);
+
+    MicroOp next() override;
+    const char *name() const override { return p.name.c_str(); }
+
+    const WorkloadParams &params() const { return p; }
+    const CodeLayout &layout() const { return code; }
+    const DataSpace &dataSpace() const { return data; }
+
+  private:
+    enum class Phase : std::uint8_t { Dispatch, Block };
+
+    void enterHandler();
+    MicroOp makePlain(Addr pc) const;
+    void attachMemOp(MicroOp &op, const BlockInfo &bi);
+
+    WorkloadParams p;
+    Pcg32 walkRng;
+    CodeLayout code;
+    DataSpace data;
+    ZipfSampler funcSampler;
+
+    Phase phase = Phase::Dispatch;
+    unsigned dispatchIdx = 0;
+    std::uint32_t curFunc = 0;
+    std::uint32_t blockOffset = 0; //!< block index within the function
+    unsigned instrIdx = 0;
+    unsigned loopRemaining = 0;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_WORKLOADS_SYNTH_WORKLOAD_HH

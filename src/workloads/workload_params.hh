@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Parameter set describing one synthetic workload.  Each of the paper's
+ * Table 3 server workloads and the SPEC comparison points is a named
+ * instance of these parameters (see catalog.cc), tuned to reproduce the
+ * access-pattern characterization of Fig. 3/4: server workloads are
+ * many-to-few (large scattered instruction footprint, small hot data),
+ * SPEC workloads are few-to-many (tiny hot loops, large data).
+ */
+
+#ifndef GARIBALDI_WORKLOADS_WORKLOAD_PARAMS_HH
+#define GARIBALDI_WORKLOADS_WORKLOAD_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** Which data region a basic block's memory operations target. */
+enum class DataClass : std::uint8_t
+{
+    Hot = 0, //!< small Zipf-heavy region (the paper's "few hot data")
+    Warm,    //!< mid-size region with mild skew
+    Stream,  //!< large region walked sequentially (cold, scan-like)
+};
+
+/** Full description of a synthetic workload. */
+struct WorkloadParams
+{
+    std::string name = "unnamed";
+    bool isServer = true;
+
+    // --- Code layout -----------------------------------------------
+    /** Handler functions (instruction footprint driver). */
+    std::uint32_t numFunctions = 512;
+    std::uint32_t minBlocksPerFunction = 6;
+    std::uint32_t maxBlocksPerFunction = 14;
+    std::uint32_t minInstrsPerBlock = 12;
+    std::uint32_t maxInstrsPerBlock = 32;
+    /** Handler popularity skew (0 = uniform). */
+    double functionZipf = 0.6;
+
+    // --- Data spaces ------------------------------------------------
+    std::uint64_t hotBytes = 512 * 1024;
+    double hotZipf = 0.8;
+    std::uint64_t warmBytes = 4 * 1024 * 1024;
+    double warmZipf = 0.3;
+    std::uint64_t streamBytes = 16 * 1024 * 1024;
+
+    // --- Block behavior ---------------------------------------------
+    /** Fraction of blocks whose data class is Hot / Stream (rest Warm). */
+    double hotBlockFraction = 0.55;
+    double streamBlockFraction = 0.15;
+    /** Probability an instruction carries a memory operand. */
+    double memProb = 0.35;
+    /** Fraction of memory operations that are stores. */
+    double storeFraction = 0.25;
+    /**
+     * Probability a Hot-class access targets the block's preferred
+     * line (stable IL->DL pairing the pair table can learn).
+     */
+    double preferredLineProb = 0.5;
+    /** Pool of hot lines preferred lines are drawn from (sharing). */
+    std::uint32_t preferredPool = 1024;
+    /**
+     * First hot-region line rank of the preferred pool.  Offsetting
+     * the pool past the Zipf head keeps preferred lines out of the
+     * private caches so their (hot) hits land at the shared LLC —
+     * where the pair table observes them.
+     */
+    std::uint32_t preferredPoolOffset = 1024;
+
+    // --- Control flow ----------------------------------------------
+    /** Probability the dispatcher re-invokes the previous handler
+     *  (request batching / temporal locality of real servers). */
+    double repeatHandlerProb = 0.35;
+    /** Mean bias of conditional branches (predictability). */
+    double takenBias = 0.85;
+    /** Fraction of branches that are noisy (50/50). */
+    double branchNoise = 0.06;
+    /** Iterations of Stream-class blocks (tight scan loops). */
+    std::uint32_t scanLoopIters = 24;
+    /** Iterations of non-stream blocks (1 = straight-line). */
+    std::uint32_t blockLoopIters = 1;
+
+    // --- Core-model coupling ----------------------------------------
+    /** Probability a load depends on an outstanding miss (no MLP). */
+    double dependentLoadFraction = 0.3;
+
+    /** Scale code and data footprints by @p f (bench --scale). */
+    void
+    scaleFootprint(double f)
+    {
+        numFunctions = static_cast<std::uint32_t>(numFunctions * f);
+        if (numFunctions == 0)
+            numFunctions = 1;
+        hotBytes = static_cast<std::uint64_t>(hotBytes * f);
+        warmBytes = static_cast<std::uint64_t>(warmBytes * f);
+        streamBytes = static_cast<std::uint64_t>(streamBytes * f);
+    }
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_WORKLOADS_WORKLOAD_PARAMS_HH

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache: geometry, hit/miss paths,
+ * eviction/writeback, MSHR pending-merge, the instruction bit, the
+ * prefetched bit, the I-oracle mode, way partitioning and the QBS
+ * companion hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace garibaldi
+{
+namespace
+{
+
+MemAccess
+makeAccess(Addr paddr, bool instr = false, bool write = false,
+           Addr pc = 0x1000)
+{
+    MemAccess a;
+    a.paddr = paddr;
+    a.isInstr = instr;
+    a.isWrite = write;
+    a.pc = pc;
+    return a;
+}
+
+CacheParams
+smallParams(std::uint32_t assoc = 4, std::uint64_t size = 4 * 1024)
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = size;
+    p.assoc = assoc;
+    p.latency = 3;
+    p.policy = PolicyKind::LRU;
+    return p;
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c(smallParams(4, 4 * 1024)); // 64 lines / 4 ways
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.assoc(), 4u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallParams());
+    MemAccess a = makeAccess(0x1000);
+    EXPECT_FALSE(c.access(a));
+    c.insert(a);
+    EXPECT_TRUE(c.access(a));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentBytesHit)
+{
+    Cache c(smallParams());
+    c.insert(makeAccess(0x1000));
+    EXPECT_TRUE(c.access(makeAccess(0x103f)));
+    EXPECT_FALSE(c.access(makeAccess(0x1040))); // next line
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    Cache c(smallParams(2, 2 * 64 * 4)); // 4 sets, 2 ways
+    // Three lines mapping to the same set: set stride = 4 lines.
+    Addr a0 = 0, a1 = 4 * 64, a2 = 8 * 64;
+    c.insert(makeAccess(a0));
+    c.insert(makeAccess(a1));
+    c.access(makeAccess(a0)); // a0 becomes MRU
+    Eviction ev = c.insert(makeAccess(a2));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a1); // LRU victim
+    EXPECT_TRUE(c.contains(a0));
+    EXPECT_FALSE(c.contains(a1));
+    EXPECT_TRUE(c.contains(a2));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache c(smallParams(1, 64 * 2)); // 2 sets, direct-mapped
+    c.insert(makeAccess(0x0, false, true)); // store-allocate: dirty
+    Eviction ev = c.insert(makeAccess(2 * 64)); // same set
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(c.stats().writebacksOut, 1u);
+}
+
+TEST(Cache, StoreHitSetsDirty)
+{
+    Cache c(smallParams(1, 64 * 2));
+    c.insert(makeAccess(0x0));
+    EXPECT_TRUE(c.access(makeAccess(0x0, false, true)));
+    Eviction ev = c.insert(makeAccess(2 * 64));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, InvalidateReturnsDirtyState)
+{
+    Cache c(smallParams());
+    c.insert(makeAccess(0x1000, false, true));
+    EXPECT_TRUE(c.invalidate(0x1000));
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_FALSE(c.invalidate(0x1000)); // already gone
+}
+
+TEST(Cache, InstrBitTracked)
+{
+    Cache c(smallParams(1, 64 * 2));
+    c.insert(makeAccess(0x0, /*instr=*/true));
+    Eviction ev = c.insert(makeAccess(2 * 64));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.isInstr);
+    EXPECT_EQ(c.stats().instrEvictions, 1u);
+}
+
+TEST(Cache, PrefetchBitClearedOnDemandHit)
+{
+    Cache c(smallParams());
+    MemAccess pf = makeAccess(0x1000);
+    pf.isPrefetch = true;
+    c.insert(pf);
+    EXPECT_EQ(c.stats().prefetchInserts, 1u);
+    EXPECT_TRUE(c.access(makeAccess(0x1000)));
+    EXPECT_EQ(c.stats().prefetchUseful, 1u);
+    // Second demand hit does not double count.
+    EXPECT_TRUE(c.access(makeAccess(0x1000)));
+    EXPECT_EQ(c.stats().prefetchUseful, 1u);
+}
+
+TEST(Cache, PrefetchAccessDoesNotCountStats)
+{
+    Cache c(smallParams());
+    MemAccess pf = makeAccess(0x1000);
+    pf.isPrefetch = true;
+    EXPECT_FALSE(c.access(pf));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Cache, PendingMergeReportsReadyTime)
+{
+    Cache c(smallParams());
+    c.addPending(0x1000, 500);
+    EXPECT_EQ(c.pendingReady(0x1000, 100), 500u);
+    EXPECT_EQ(c.stats().mshrMerges, 1u);
+    // After the ready time the entry is pruned.
+    EXPECT_EQ(c.pendingReady(0x1000, 600), 0u);
+    EXPECT_EQ(c.pendingReady(0x1000, 700), 0u);
+}
+
+TEST(Cache, MshrsFullDetection)
+{
+    CacheParams p = smallParams();
+    p.mshrs = 2;
+    Cache c(p);
+    c.addPending(0x1000, 1000);
+    EXPECT_FALSE(c.mshrsFull(0));
+    c.addPending(0x2000, 1000);
+    EXPECT_TRUE(c.mshrsFull(0));
+    // Completed fills free MSHRs.
+    EXPECT_FALSE(c.mshrsFull(2000));
+}
+
+TEST(Cache, OracleInstrAlwaysHitsAfterFirstTouch)
+{
+    CacheParams p = smallParams();
+    p.instrOracle = true;
+    Cache c(p);
+    MemAccess i = makeAccess(0x5000, /*instr=*/true);
+    EXPECT_FALSE(c.access(i)); // first touch misses
+    EXPECT_TRUE(c.access(i));  // always hits afterwards
+    EXPECT_TRUE(c.access(i));
+    // And consumes no array capacity.
+    c.insert(i);
+    EXPECT_FALSE(c.contains(0x5000));
+}
+
+TEST(Cache, OracleDataUnaffected)
+{
+    CacheParams p = smallParams();
+    p.instrOracle = true;
+    Cache c(p);
+    MemAccess d = makeAccess(0x5000);
+    EXPECT_FALSE(c.access(d));
+    c.insert(d);
+    EXPECT_TRUE(c.access(d));
+}
+
+TEST(Cache, PartitionSeparatesClasses)
+{
+    CacheParams p = smallParams(4, 4 * 64 * 1); // 1 set, 4 ways
+    p.instrPartitionWays = 2;
+    Cache c(p);
+    // Fill instruction region (ways 0-1).
+    c.insert(makeAccess(0 * 64, true));
+    c.insert(makeAccess(1 * 64, true));
+    // Fill data region (ways 2-3).
+    c.insert(makeAccess(2 * 64, false));
+    c.insert(makeAccess(3 * 64, false));
+    // A new data line must evict a data line, not an instruction.
+    Eviction ev = c.insert(makeAccess(4 * 64, false));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_FALSE(ev.isInstr);
+    // A new instruction line must evict an instruction line.
+    ev = c.insert(makeAccess(5 * 64, true));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.isInstr);
+}
+
+TEST(Cache, PartitionCriticalFilterRoutesNonCriticalToData)
+{
+    CacheParams p = smallParams(4, 4 * 64 * 1);
+    p.instrPartitionWays = 2;
+    p.partitionCriticalOnly = true;
+    Cache c(p);
+    c.insert(makeAccess(2 * 64, false));
+    c.insert(makeAccess(3 * 64, false));
+    // Non-critical instruction competes with data ways.
+    Eviction ev = c.insert(makeAccess(6 * 64, true), false,
+                           /*critical=*/false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_FALSE(ev.isInstr);
+    EXPECT_EQ(c.stats().partitionInstrInserts, 0u);
+    // Critical instruction claims the instruction region.
+    ev = c.insert(makeAccess(7 * 64, true), false, /*critical=*/true);
+    EXPECT_EQ(c.stats().partitionInstrInserts, 1u);
+}
+
+/** Companion that protects one specific line address. */
+class OneLineProtector : public LlcCompanion
+{
+  public:
+    explicit OneLineProtector(Addr line) : target(line) {}
+
+    void observeAccess(const MemAccess &, bool, Cycle) override {}
+    bool
+    shouldProtect(Addr victim) override
+    {
+        ++queries;
+        return victim == target;
+    }
+    void instrMissPrefetch(Addr, std::vector<Addr> &) override {}
+    void observeInsert(Addr, bool, bool) override { ++inserts; }
+    void observeEvict(Addr, bool) override { ++evicts; }
+    unsigned maxProtectAttempts() const override { return 2; }
+    Cycle queryCost() const override { return 1; }
+
+    Addr target;
+    int queries = 0;
+    int inserts = 0;
+    int evicts = 0;
+};
+
+TEST(Cache, QbsProtectionRedirectsEviction)
+{
+    CacheParams p = smallParams(2, 2 * 64 * 1); // 1 set, 2 ways
+    Cache c(p);
+    OneLineProtector guard(0 * 64);
+    c.setCompanion(&guard);
+    c.insert(makeAccess(0 * 64, true));  // protected line, will be LRU
+    c.insert(makeAccess(1 * 64, true));
+    Eviction ev = c.insert(makeAccess(2 * 64, false));
+    ASSERT_TRUE(ev.valid);
+    // LRU would pick line 0; QBS protects it, so line 1 goes.
+    EXPECT_EQ(ev.lineAddr, Addr{1 * 64});
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_GE(guard.queries, 1);
+    EXPECT_EQ(c.stats().qbsProtections, 1u);
+    EXPECT_GT(c.drainQbsCycles(), 0u);
+}
+
+TEST(Cache, QbsMaxAttemptsBoundsProtection)
+{
+    CacheParams p = smallParams(4, 4 * 64 * 1); // 1 set, 4 ways
+    Cache c(p);
+    // Protect everything: after maxProtectAttempts (2) promotions the
+    // next candidate is evicted regardless.
+    class ProtectAll : public OneLineProtector
+    {
+      public:
+        ProtectAll() : OneLineProtector(0) {}
+        bool
+        shouldProtect(Addr) override
+        {
+            ++queries;
+            return true;
+        }
+    } guard;
+    c.setCompanion(&guard);
+    for (Addr i = 0; i < 4; ++i)
+        c.insert(makeAccess(i * 64, true));
+    Eviction ev = c.insert(makeAccess(4 * 64, true));
+    EXPECT_TRUE(ev.valid); // something was still evicted
+    EXPECT_EQ(guard.queries, 2);
+}
+
+TEST(Cache, QbsNotConsultedForDataVictims)
+{
+    CacheParams p = smallParams(1, 64 * 1); // direct mapped, 1 set
+    Cache c(p);
+    OneLineProtector guard(0);
+    guard.target = 0;
+    c.setCompanion(&guard);
+    c.insert(makeAccess(0 * 64, false)); // data line
+    c.insert(makeAccess(1 * 64, false));
+    EXPECT_EQ(guard.queries, 0);
+}
+
+TEST(Cache, CompanionSeesInsertsAndEvicts)
+{
+    CacheParams p = smallParams(1, 64 * 1);
+    Cache c(p);
+    OneLineProtector guard(~Addr{0});
+    c.setCompanion(&guard);
+    c.insert(makeAccess(0 * 64));
+    c.insert(makeAccess(1 * 64));
+    EXPECT_EQ(guard.inserts, 2);
+    EXPECT_EQ(guard.evicts, 1);
+}
+
+TEST(Cache, InsertExistingLineMergesDirty)
+{
+    Cache c(smallParams());
+    c.insert(makeAccess(0x1000));
+    Eviction ev = c.insert(makeAccess(0x1000), /*dirty=*/true);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(c.invalidate(0x1000)); // was dirty
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    CacheParams p = smallParams();
+    p.instrPartitionWays = p.assoc; // no data ways left
+    EXPECT_EXIT({ Cache c(p); }, testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace garibaldi

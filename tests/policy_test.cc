@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Replacement-policy tests: exact LRU behavior, SRRIP/DRRIP semantics,
+ * SHiP training, plus parameterized invariants that every policy must
+ * satisfy (victims in range, promote shields from the immediate
+ * re-selection, factory round-trips).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/policy/replacement.hh"
+#include "mem/policy/rrip.hh"
+#include "mem/policy/ship.hh"
+
+namespace garibaldi
+{
+namespace
+{
+
+MemAccess
+pcAccess(Addr pc, Addr paddr = 0x1000)
+{
+    MemAccess a;
+    a.pc = pc;
+    a.paddr = paddr;
+    return a;
+}
+
+TEST(PolicyFactory, NamesRoundTrip)
+{
+    for (PolicyKind k :
+         {PolicyKind::LRU, PolicyKind::Random, PolicyKind::SRRIP,
+          PolicyKind::DRRIP, PolicyKind::SHiP, PolicyKind::Hawkeye,
+          PolicyKind::Mockingjay}) {
+        EXPECT_EQ(parsePolicyKind(policyKindName(k)), k);
+        auto p = makePolicy(k, 64, 8);
+        ASSERT_NE(p, nullptr);
+        EXPECT_STREQ(p->name(), policyKindName(k));
+    }
+}
+
+TEST(Lru, VictimIsLeastRecent)
+{
+    auto p = makePolicy(PolicyKind::LRU, 4, 4);
+    MemAccess a = pcAccess(0);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p->onInsert(0, w, a);
+    p->onHit(0, 0, a); // 0 most recent; way 1 is oldest
+    EXPECT_EQ(p->victim(0, a), 1u);
+    p->onHit(0, 1, a);
+    EXPECT_EQ(p->victim(0, a), 2u);
+}
+
+TEST(Lru, PromoteShieldsLine)
+{
+    auto p = makePolicy(PolicyKind::LRU, 4, 4);
+    MemAccess a = pcAccess(0);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p->onInsert(0, w, a);
+    EXPECT_EQ(p->victim(0, a), 0u);
+    p->promote(0, 0);
+    EXPECT_EQ(p->victim(0, a), 1u);
+}
+
+TEST(Srrip, InsertLongHitNear)
+{
+    SrripPolicy p(4, 4, 3); // max rrpv 7
+    MemAccess a = pcAccess(0);
+    p.onInsert(0, 0, a);
+    EXPECT_EQ(p.rrpvOf(0, 0), 6u); // long = max-1
+    p.onHit(0, 0, a);
+    EXPECT_EQ(p.rrpvOf(0, 0), 0u); // near-immediate
+}
+
+TEST(Srrip, VictimAgesSetUntilDistantFound)
+{
+    SrripPolicy p(1, 2, 2); // max rrpv 3
+    MemAccess a = pcAccess(0);
+    p.onInsert(0, 0, a);
+    p.onInsert(0, 1, a);
+    p.onHit(0, 0, a); // rrpv 0
+    p.onHit(0, 1, a); // rrpv 0
+    std::uint32_t v = p.victim(0, a);
+    // Aging must raise both to max and return the first distant way.
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(p.rrpvOf(0, 0), 3u);
+    EXPECT_EQ(p.rrpvOf(0, 1), 3u);
+}
+
+TEST(Srrip, PromoteResetsRrpv)
+{
+    SrripPolicy p(1, 2, 3);
+    MemAccess a = pcAccess(0);
+    p.onInsert(0, 0, a);
+    p.promote(0, 0);
+    EXPECT_EQ(p.rrpvOf(0, 0), 0u);
+}
+
+TEST(Drrip, LeaderMissesSteerPsel)
+{
+    DrripPolicy p(64, 4, 3, 1);
+    MemAccess a = pcAccess(0);
+    int before = p.pselValue();
+    // Set 0 is an SRRIP leader (stride 2): misses push PSEL up.
+    for (int i = 0; i < 10; ++i)
+        p.onAccess(0, a, /*hit=*/false);
+    EXPECT_GT(p.pselValue(), before);
+    // The BRRIP leader pulls it back down.
+    for (int i = 0; i < 20; ++i)
+        p.onAccess(1, a, /*hit=*/false);
+    EXPECT_LT(p.pselValue(), before + 10);
+}
+
+TEST(Drrip, HitsDoNotMovePsel)
+{
+    DrripPolicy p(64, 4, 3, 1);
+    MemAccess a = pcAccess(0);
+    int before = p.pselValue();
+    for (int i = 0; i < 10; ++i)
+        p.onAccess(0, a, /*hit=*/true);
+    EXPECT_EQ(p.pselValue(), before);
+}
+
+TEST(Ship, TrainsOnReuseAndDecaysOnDeadLines)
+{
+    ShipPolicy p(4, 4, 3);
+    Addr reused_pc = 0x100, dead_pc = 0x200;
+    unsigned before_reused = p.shctOf(reused_pc);
+    unsigned before_dead = p.shctOf(dead_pc);
+    // PC 0x100's lines get reused: counter rises.
+    for (int i = 0; i < 6; ++i) {
+        p.onInsert(0, 0, pcAccess(reused_pc));
+        p.onHit(0, 0, pcAccess(reused_pc));
+        p.onEvict(0, 0);
+    }
+    // PC 0x200's lines die without reuse: counter falls.
+    for (int i = 0; i < 6; ++i) {
+        p.onInsert(0, 1, pcAccess(dead_pc));
+        p.onEvict(0, 1);
+    }
+    EXPECT_GT(p.shctOf(reused_pc), before_reused);
+    EXPECT_LT(p.shctOf(dead_pc), before_dead);
+}
+
+TEST(Ship, DeadPcInsertsDistant)
+{
+    ShipPolicy p(4, 4, 3);
+    Addr dead_pc = 0x200;
+    for (int i = 0; i < 8; ++i) {
+        p.onInsert(0, 1, pcAccess(dead_pc));
+        p.onEvict(0, 1);
+    }
+    ASSERT_EQ(p.shctOf(dead_pc), 0u);
+    p.onInsert(0, 1, pcAccess(dead_pc));
+    EXPECT_EQ(p.rrpvOf(0, 1), 7u); // distant
+}
+
+// ---------------------------------------------------------------------
+// Parameterized invariants across all policies.
+// ---------------------------------------------------------------------
+
+class PolicyInvariantTest : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(PolicyInvariantTest, VictimAlwaysInRange)
+{
+    auto p = makePolicy(GetParam(), 16, 8);
+    Pcg32 rng(1, 1);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t set = rng.nextBounded(16);
+        MemAccess a = pcAccess(rng.next() & ~3u,
+                               Addr{rng.next()} << kLineShift);
+        p->onAccess(set, a, rng.chance(0.5));
+        std::uint32_t w = rng.nextBounded(8);
+        if (rng.chance(0.5))
+            p->onHit(set, w, a);
+        else
+            p->onInsert(set, w, a);
+        std::uint32_t v = p->victim(set, a);
+        EXPECT_LT(v, 8u);
+    }
+}
+
+TEST_P(PolicyInvariantTest, PromoteChangesImmediateVictim)
+{
+    auto p = makePolicy(GetParam(), 4, 8);
+    MemAccess a = pcAccess(0x40);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        p->onInsert(0, w, a);
+    std::uint32_t v1 = p->victim(0, a);
+    p->promote(0, v1);
+    std::uint32_t v2 = p->victim(0, a);
+    EXPECT_NE(v1, v2);
+}
+
+TEST_P(PolicyInvariantTest, EvictThenReinsertIsStable)
+{
+    auto p = makePolicy(GetParam(), 4, 4);
+    MemAccess a = pcAccess(0x40);
+    for (int round = 0; round < 50; ++round) {
+        for (std::uint32_t w = 0; w < 4; ++w)
+            p->onInsert(0, w, a);
+        std::uint32_t v = p->victim(0, a);
+        p->onEvict(0, v);
+        p->onInsert(0, v, a);
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariantTest,
+    ::testing::Values(PolicyKind::LRU, PolicyKind::Random,
+                      PolicyKind::SRRIP, PolicyKind::DRRIP,
+                      PolicyKind::SHiP, PolicyKind::Hawkeye,
+                      PolicyKind::Mockingjay),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        return std::string(policyKindName(info.param));
+    });
+
+} // namespace
+} // namespace garibaldi

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Simulation-layer tests: system assembly, simulator determinism and
+ * window accounting, metrics, the energy model, the characterization
+ * monitors, and the hierarchy's end-to-end behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+#include "sim/monitors.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+
+namespace garibaldi
+{
+namespace
+{
+
+SystemConfig
+tinyConfig(std::uint32_t cores = 2)
+{
+    SystemConfig cfg = defaultConfig(cores);
+    cfg.coresPerL2 = 2;
+    // Shrink for test speed; geometry stays power-of-two clean.
+    cfg.l2Bytes = 256 * 1024;
+    cfg.llcBytesPerCore = 192 * 1024;
+    return cfg;
+}
+
+TEST(Metrics, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1, 1, 1}), 1.0);
+    EXPECT_NEAR(harmonicMean({1, 2}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1, 0}), 0.0);
+}
+
+TEST(Metrics, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({2, 8}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({5}), 5.0);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(Metrics, WeightedSpeedup)
+{
+    EXPECT_NEAR(weightedSpeedup({1.0, 2.0}, {2.0, 2.0}), 1.5, 1e-12);
+    EXPECT_EXIT(weightedSpeedup({1.0}, {1.0, 2.0}),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(System, RejectsMismatchedMix)
+{
+    SystemConfig cfg = tinyConfig(2);
+    Mix m = homogeneousMix("tpcc", 3);
+    EXPECT_EXIT({ System sys(cfg, m); }, testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(System, GaribaldiAttachedOnlyWhenEnabled)
+{
+    SystemConfig cfg = tinyConfig(2);
+    Mix m = homogeneousMix("tpcc", 2);
+    System without(cfg, m);
+    EXPECT_EQ(without.garibaldi(), nullptr);
+    cfg.garibaldiEnabled = true;
+    System with(cfg, m);
+    EXPECT_NE(with.garibaldi(), nullptr);
+}
+
+TEST(Simulator, RunsExactInstructionCounts)
+{
+    SystemConfig cfg = tinyConfig(2);
+    System sys(cfg, homogeneousMix("noop", 2));
+    Simulator sim(sys);
+    SimResult r = sim.run(1000, 5000);
+    ASSERT_EQ(r.cores.size(), 2u);
+    for (const auto &c : r.cores) {
+        EXPECT_EQ(c.instructions, 5000u);
+        EXPECT_GT(c.cycles, 0u);
+        EXPECT_GT(c.ipc, 0.0);
+    }
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = tinyConfig(2);
+    Mix m = homogeneousMix("tpcc", 2);
+    System sys_a(cfg, m), sys_b(cfg, m);
+    SimResult a = Simulator(sys_a).run(2000, 10000);
+    SimResult b = Simulator(sys_b).run(2000, 10000);
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+        EXPECT_EQ(a.cores[c].mispredicts, b.cores[c].mispredicts);
+    }
+    EXPECT_EQ(a.mem.get("llc.accesses"), b.mem.get("llc.accesses"));
+}
+
+TEST(Simulator, SeedChangesResults)
+{
+    SystemConfig cfg = tinyConfig(2);
+    Mix m = homogeneousMix("tpcc", 2);
+    System sys_a(cfg, m);
+    cfg.seed = 99;
+    System sys_b(cfg, m);
+    SimResult a = Simulator(sys_a).run(2000, 10000);
+    SimResult b = Simulator(sys_b).run(2000, 10000);
+    EXPECT_NE(a.cores[0].cycles, b.cores[0].cycles);
+}
+
+TEST(Simulator, DetailedWindowStatsExcludeWarmup)
+{
+    SystemConfig cfg = tinyConfig(2);
+    System sys(cfg, homogeneousMix("tpcc", 2));
+    Simulator sim(sys);
+    SimResult r = sim.run(20000, 2000);
+    // The detailed window is short: LLC traffic must be a small slice
+    // of the full run (which warmup dominated), proving subtraction.
+    EXPECT_LT(r.mem.get("llc.accesses"), 100000.0);
+    EXPECT_GE(r.mem.get("llc.accesses"), 0.0);
+}
+
+TEST(Simulator, CpiStackCoversAllCycles)
+{
+    SystemConfig cfg = tinyConfig(2);
+    System sys(cfg, homogeneousMix("tpcc", 2));
+    SimResult r = Simulator(sys).run(1000, 20000);
+    for (const auto &c : r.cores) {
+        // Every cycle is attributed: stack total ~= window cycles.
+        // (Base rounding can lose at most one cycle per instruction
+        // group; allow 2%.)
+        double total = static_cast<double>(c.cpi.total());
+        EXPECT_NEAR(total, static_cast<double>(c.cycles),
+                    0.2 * c.cycles + 100);
+    }
+}
+
+TEST(Simulator, ServerMixReachesLlcWithInstructions)
+{
+    SystemConfig cfg = tinyConfig(4);
+    cfg.coresPerL2 = 2;
+    System sys(cfg, homogeneousMix("verilator", 4));
+    SimResult r = Simulator(sys).run(30000, 60000);
+    double instr_ratio = r.mem.get("llc.instr_accesses") /
+                         r.mem.get("llc.accesses");
+    EXPECT_GT(instr_ratio, 0.03); // instruction traffic present
+}
+
+TEST(Simulator, SpecMixBarelyTouchesLlcWithInstructions)
+{
+    SystemConfig cfg = tinyConfig(2);
+    System sys(cfg, homogeneousMix("bwaves", 2));
+    SimResult r = Simulator(sys).run(30000, 60000);
+    double instr_ratio = r.mem.get("llc.instr_accesses") /
+                         std::max(1.0, r.mem.get("llc.accesses"));
+    EXPECT_LT(instr_ratio, 0.02); // Fig. 3(b): ~0.3% for SPEC
+}
+
+TEST(Energy, DecomposesAndSums)
+{
+    SystemConfig cfg = tinyConfig(2);
+    System sys(cfg, homogeneousMix("tpcc", 2));
+    SimResult r = Simulator(sys).run(1000, 10000);
+    EnergyBreakdown e = computeEnergy(r, cfg);
+    EXPECT_GT(e.core, 0.0);
+    EXPECT_GT(e.l1, 0.0);
+    EXPECT_GT(e.staticLeakage, 0.0);
+    EXPECT_NEAR(e.total(), e.core + e.l1 + e.l2 + e.llc + e.dram +
+                               e.garibaldi + e.staticLeakage,
+                1e-15);
+    StatSet s = e.toStatSet();
+    EXPECT_GT(s.get("total_j"), 0.0);
+}
+
+TEST(Energy, GaribaldiComponentOnlyWhenAttached)
+{
+    SystemConfig cfg = tinyConfig(2);
+    System plain(cfg, homogeneousMix("tpcc", 2));
+    SimResult r1 = Simulator(plain).run(1000, 5000);
+    EXPECT_EQ(computeEnergy(r1, cfg).garibaldi, 0.0);
+    cfg.garibaldiEnabled = true;
+    System with(cfg, homogeneousMix("tpcc", 2));
+    SimResult r2 = Simulator(with).run(1000, 5000);
+    EXPECT_GT(computeEnergy(r2, cfg).garibaldi, 0.0);
+}
+
+TEST(Experiment, SoloIpcCachedAndPositive)
+{
+    ExperimentContext ctx(tinyConfig(2), 500, 3000);
+    double a = ctx.soloIpc("tpcc");
+    double b = ctx.soloIpc("tpcc");
+    EXPECT_GT(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Experiment, MetricUsesWeightedSpeedupForHetero)
+{
+    ExperimentContext ctx(tinyConfig(2), 500, 3000);
+    Mix hetero = explicitMix("h", {"tpcc", "kafka"});
+    SimResult r = ctx.run(ctx.baseConfig(), hetero);
+    double m = ctx.metric(r, hetero);
+    // Weighted speedup of 2 cores is on the order of the core count.
+    EXPECT_GT(m, 0.1);
+    EXPECT_LT(m, 4.0);
+    Mix homog = homogeneousMix("tpcc", 2);
+    SimResult r2 = ctx.run(ctx.baseConfig(), homog);
+    EXPECT_DOUBLE_EQ(ctx.metric(r2, homog), r2.ipcHarmonicMean());
+}
+
+// --------------------------------------------------------------------
+// Monitors
+// --------------------------------------------------------------------
+
+MemAccess
+llcAccess(Addr paddr, bool instr, Addr pc = 0x400000)
+{
+    MemAccess a;
+    a.paddr = paddr;
+    a.isInstr = instr;
+    a.pc = pc;
+    return a;
+}
+
+TEST(ReuseDistanceMonitor, StackDistanceExact)
+{
+    ReuseDistanceMonitor mon(16, /*sample every set*/ 0);
+    // Pattern in one set (set stride 16 lines): A B C A.
+    Addr A = 0, B = 16 * 64, C = 32 * 64;
+    mon.observe(llcAccess(A, false), false);
+    mon.observe(llcAccess(B, false), false);
+    mon.observe(llcAccess(C, false), false);
+    mon.observe(llcAccess(A, false), false);
+    // A's reuse saw 2 distinct intervening lines.
+    EXPECT_DOUBLE_EQ(mon.dataMeanDistance(), 2.0);
+}
+
+TEST(ReuseDistanceMonitor, RepeatedAccessDistanceZero)
+{
+    ReuseDistanceMonitor mon(16, 0);
+    mon.observe(llcAccess(0, true), false);
+    mon.observe(llcAccess(0, true), false);
+    mon.observe(llcAccess(0, true), false);
+    EXPECT_DOUBLE_EQ(mon.instrMeanDistance(), 0.0);
+}
+
+TEST(ReuseDistanceMonitor, SeparatesInstrAndData)
+{
+    ReuseDistanceMonitor mon(16, 0);
+    mon.observe(llcAccess(0, true), false);
+    mon.observe(llcAccess(16 * 64, false), false);
+    mon.observe(llcAccess(0, true), false);        // instr d=1
+    mon.observe(llcAccess(16 * 64, false), false); // data d=1
+    EXPECT_EQ(mon.instrHistogram().count(), 1u);
+    EXPECT_EQ(mon.dataHistogram().count(), 1u);
+}
+
+TEST(LineFrequencyMonitor, CountsPerLineAndRatio)
+{
+    LineFrequencyMonitor mon;
+    for (int i = 0; i < 6; ++i)
+        mon.observe(llcAccess(0x1000, false), true);
+    mon.observe(llcAccess(0x2000, false), true);
+    mon.observe(llcAccess(0x8000, true), false);
+    EXPECT_DOUBLE_EQ(mon.dataAccessesPerLine(), 3.5); // 7 over 2 lines
+    EXPECT_DOUBLE_EQ(mon.instrAccessesPerLine(), 1.0);
+    EXPECT_NEAR(mon.instrAccessRatio(), 1.0 / 8.0, 1e-12);
+}
+
+TEST(PairingMonitor, SplitsMissRateByDataHotness)
+{
+    PairingMonitor mon;
+    // Instruction line H: data always hits; line C: data misses.
+    Addr pc_hot = 0x1000, pc_cold = 0x2000;
+    for (int i = 0; i < 10; ++i) {
+        mon.observe(llcAccess(0x700000, true, pc_hot), i > 7);
+        mon.observe(llcAccess(0x900000, false, pc_hot), true);
+        mon.observe(llcAccess(0x710000, true, pc_cold), true);
+        mon.observe(llcAccess(0x910000, false, pc_cold), false);
+    }
+    // pc_hot's instruction line missed 8/10; pc_cold's missed 0/10.
+    EXPECT_NEAR(mon.instrMissRateDataHot(), 0.8, 1e-9);
+    EXPECT_NEAR(mon.instrMissRateDataCold(), 0.0, 1e-9);
+}
+
+TEST(PairingMonitor, SharingDegreeCountsDistinctConsecutive)
+{
+    PairingMonitor mon;
+    Addr dl = 0x900000;
+    mon.observe(llcAccess(dl, false, 0x1000), true);
+    mon.observe(llcAccess(dl, false, 0x2000), true);
+    mon.observe(llcAccess(dl, false, 0x3000), true);
+    EXPECT_DOUBLE_EQ(mon.dataSharingDegree(), 3.0);
+}
+
+TEST(Monitors, AttachToHierarchy)
+{
+    SystemConfig cfg = tinyConfig(2);
+    Mix m = homogeneousMix("verilator", 2);
+    System sys(cfg, m);
+    LineFrequencyMonitor freq;
+    sys.hierarchy().addLlcObserver(
+        [&freq](const MemAccess &a, bool hit) { freq.observe(a, hit); });
+    Simulator(sys).run(5000, 20000);
+    EXPECT_GT(freq.instrAccessRatio(), 0.0);
+    EXPECT_GT(freq.stats().get("distinct_data_lines"), 0.0);
+}
+
+} // namespace
+} // namespace garibaldi
