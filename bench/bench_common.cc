@@ -12,6 +12,8 @@ BenchArgs::addTo(ArgParser &args)
     args.addInt("warmup", 150000, "warmup instructions per core");
     args.addInt("instr", 300000, "measured instructions per core");
     args.addInt("seed", 1, "master seed");
+    args.addInt("llc-banks", 1,
+                "LLC bank count (power of two; 1 = monolithic)");
     args.addFlag("full", "full workload set / paper-scale sweep");
     args.addFlag("csv", "emit CSV instead of aligned text");
 }
@@ -24,6 +26,7 @@ BenchArgs::from(const ArgParser &args)
     b.warmup = static_cast<std::uint64_t>(args.getInt("warmup"));
     b.detailed = static_cast<std::uint64_t>(args.getInt("instr"));
     b.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    b.llcBanks = static_cast<std::uint32_t>(args.getInt("llc-banks"));
     b.full = args.getFlag("full");
     b.csv = args.getFlag("csv");
     return b;
@@ -34,6 +37,7 @@ BenchArgs::config() const
 {
     SystemConfig cfg = defaultConfig(cores);
     cfg.seed = seed;
+    cfg.llcBanks = llcBanks;
     return cfg;
 }
 

@@ -26,6 +26,7 @@ struct BenchArgs
     std::uint64_t warmup = 100000;
     std::uint64_t detailed = 200000;
     std::uint64_t seed = 1;
+    std::uint32_t llcBanks = 1;
     bool full = false;
     bool csv = false;
 

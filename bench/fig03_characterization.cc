@@ -35,14 +35,12 @@ characterize(const BenchArgs &args, const std::string &workload,
 {
     SystemConfig cfg = defaultConfig(cores);
     cfg.seed = args.seed;
+    cfg.llcBanks = args.llcBanks;
     System sys(cfg, homogeneousMix(workload, cores));
-    ReuseDistanceMonitor reuse(sys.hierarchy().llc().numSets(), 3);
+    ReuseDistanceMonitor reuse(sys.hierarchy().llc().totalSets(), 3);
     LineFrequencyMonitor freq;
-    sys.hierarchy().addLlcObserver(
-        [&](const MemAccess &a, bool hit) {
-            reuse.observe(a, hit);
-            freq.observe(a, hit);
-        });
+    sys.hierarchy().addLlcListener(&reuse);
+    sys.hierarchy().addLlcListener(&freq);
     Simulator(sys).run(args.warmup, args.detailed);
     return {reuse.instrMeanDistance(), reuse.dataMeanDistance(),
             freq.instrAccessRatio(), freq.instrAccessesPerLine(),

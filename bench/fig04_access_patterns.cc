@@ -39,10 +39,7 @@ main(int argc, char **argv)
         cfg.llcPolicy = PolicyKind::Mockingjay;
         System sys(cfg, homogeneousMix(w, b.cores));
         PairingMonitor mon;
-        sys.hierarchy().addLlcObserver(
-            [&mon](const MemAccess &a, bool hit) {
-                mon.observe(a, hit);
-            });
+        sys.hierarchy().addLlcListener(&mon);
         Simulator(sys).run(b.warmup, b.detailed);
         double hot = mon.instrMissRateDataHot();
         double cold = mon.instrMissRateDataCold();

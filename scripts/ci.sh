@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify with warnings promoted to errors, plus the hot-path
+# throughput microbenchmark.  Usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure (-Wall -Wextra -Werror) =="
+cmake -B "$build" -S "$repo" -DGARIBALDI_WERROR=ON
+
+echo "== build =="
+cmake --build "$build" -j "$jobs"
+
+echo "== ctest =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== hot-path throughput (accesses/sec; track across PRs) =="
+"$build/micro_pipeline" --quick
+
+echo "CI OK"

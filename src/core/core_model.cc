@@ -70,16 +70,18 @@ CoreModel::chargeFetch(const MicroOp &op)
     acc.pc = op.pc;
     acc.paddr = pt.translate(fetch_line);
     acc.isInstr = true;
-    AccessOutcome out = mem.access(acc, cycle);
-    if (out.level == HitLevel::L1)
+    Transaction txn(acc, cycle);
+    mem.execute(txn);
+    if (txn.level == HitLevel::L1)
         return; // L1I hits are covered by the base pipeline
 
     // Frontend stalls are serial: the pipeline cannot run ahead of the
     // fetch, so the full latency is exposed minus the decoupled fetch
     // buffer's slack.
-    Cycle stall = out.latency > params.fetchHideCycles
-                      ? out.latency - params.fetchHideCycles : 0;
-    charge(fetchComponent(out.level), stall);
+    Cycle latency = txn.latency();
+    Cycle stall = latency > params.fetchHideCycles
+                      ? latency - params.fetchHideCycles : 0;
+    charge(fetchComponent(txn.level), stall);
 }
 
 void
@@ -93,15 +95,17 @@ CoreModel::chargeData(const MicroOp &op)
     acc.paddr = pt.translate(op.vaddr);
     acc.isInstr = false;
     acc.isWrite = op.mem == MicroOp::MemKind::Store;
-    AccessOutcome out = mem.access(acc, cycle);
-    if (out.level == HitLevel::L1)
+    Transaction txn(acc, cycle);
+    mem.execute(txn);
+    if (txn.level == HitLevel::L1)
         return; // L1 hit latency is part of the base pipeline
 
+    Cycle latency = txn.latency();
     if (acc.isWrite) {
         // Stores retire through the store buffer; only sustained miss
         // pressure leaks into the commit stage.
         Cycle stall = static_cast<Cycle>(
-            static_cast<double>(out.latency) * params.storeCostFraction);
+            static_cast<double>(latency) * params.storeCostFraction);
         charge(CpiComponent::Store, stall);
         return;
     }
@@ -109,23 +113,23 @@ CoreModel::chargeData(const MicroOp &op)
     // Load miss: model memory-level parallelism.  Misses issued while a
     // previous miss is outstanding overlap with it unless the load is
     // (statistically) dependent on that miss.
-    Cycle done = cycle + out.latency;
+    Cycle done = cycle + latency;
     Cycle stall;
     if (cycle < missShadowEnd) {
         if (rng.chance(params.dependentLoadFraction)) {
-            stall = out.latency; // serialized behind the older miss
-            missShadowEnd += out.latency;
+            stall = latency; // serialized behind the older miss
+            missShadowEnd += latency;
         } else {
             stall = done > missShadowEnd ? done - missShadowEnd : 0;
             missShadowEnd = std::max(missShadowEnd, done);
         }
     } else {
         // Lone miss: the ROB hides a window of independent work.
-        stall = out.latency > params.robSlackCycles
-                    ? out.latency - params.robSlackCycles : 0;
+        stall = latency > params.robSlackCycles
+                    ? latency - params.robSlackCycles : 0;
         missShadowEnd = done;
     }
-    charge(dataComponent(out.level), stall);
+    charge(dataComponent(txn.level), stall);
 }
 
 void

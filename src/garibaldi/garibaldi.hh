@@ -6,6 +6,11 @@
  * access, QBS-style selective instruction protection during victim
  * selection, and pairwise data prefetch during unprotected instruction
  * miss handling.
+ *
+ * With a banked LLC (LlcBankSet) one Garibaldi instance is shared by
+ * all banks: each bank invokes the hooks for the lines it homes, so
+ * insert/evict/query events interleave across banks while the tables
+ * keep their global, whole-LLC view (the paper's single-module design).
  */
 
 #ifndef GARIBALDI_GARIBALDI_GARIBALDI_HH

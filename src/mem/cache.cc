@@ -6,6 +6,26 @@
 namespace garibaldi
 {
 
+void
+CacheStats::accumulate(const CacheStats &other)
+{
+    accesses += other.accesses;
+    hits += other.hits;
+    misses += other.misses;
+    instrAccesses += other.instrAccesses;
+    instrHits += other.instrHits;
+    instrMisses += other.instrMisses;
+    writebacksOut += other.writebacksOut;
+    evictions += other.evictions;
+    instrEvictions += other.instrEvictions;
+    prefetchInserts += other.prefetchInserts;
+    prefetchUseful += other.prefetchUseful;
+    mshrMerges += other.mshrMerges;
+    qbsQueries += other.qbsQueries;
+    qbsProtections += other.qbsProtections;
+    partitionInstrInserts += other.partitionInstrInserts;
+}
+
 StatSet
 CacheStats::toStatSet() const
 {
@@ -30,7 +50,7 @@ CacheStats::toStatSet() const
 }
 
 Cache::Cache(const CacheParams &params_)
-    : params(params_)
+    : params(params_), pending(params_.mshrs)
 {
     if (params.sizeBytes == 0 || params.assoc == 0)
         fatal(params.name, ": size and associativity must be non-zero");
@@ -51,8 +71,16 @@ Cache::Cache(const CacheParams &params_)
 std::uint32_t
 Cache::setOf(Addr line_addr) const
 {
-    return static_cast<std::uint32_t>(lineNumber(line_addr)) &
-           (nSets - 1);
+    Addr ln = lineNumber(line_addr);
+    if (params.indexSkipBits) {
+        // Splice the bank-select field out of the line number so one
+        // bank's lines spread over all of its sets.
+        Addr low_mask = (Addr{1} << params.indexSkipShift) - 1;
+        ln = (ln & low_mask) |
+             ((ln >> (params.indexSkipShift + params.indexSkipBits))
+              << params.indexSkipShift);
+    }
+    return static_cast<std::uint32_t>(ln) & (nSets - 1);
 }
 
 CacheLine &
@@ -68,16 +96,20 @@ Cache::lineAt(std::uint32_t set, std::uint32_t way) const
 }
 
 CacheLine *
-Cache::findLine(Addr line_addr)
+Cache::findInSet(std::uint32_t set, Addr tag)
 {
-    std::uint32_t set = setOf(line_addr);
-    Addr tag = lineNumber(line_addr);
+    CacheLine *base = &linesArr[std::size_t{set} * params.assoc];
     for (std::uint32_t w = 0; w < params.assoc; ++w) {
-        CacheLine &l = frame(set, w);
-        if (l.valid && l.tag == tag)
-            return &l;
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
     }
     return nullptr;
+}
+
+CacheLine *
+Cache::findLine(Addr line_addr)
+{
+    return findInSet(setOf(line_addr), lineNumber(line_addr));
 }
 
 const CacheLine *
@@ -97,27 +129,32 @@ Cache::access(const MemAccess &acc)
 {
     Addr line_addr = acc.lineAddr();
     std::uint32_t set = setOf(line_addr);
+    Addr tag = lineNumber(line_addr);
+
+    // One tag scan serves both the residency question the policy's
+    // training hook asks and the hit path itself.
+    CacheLine *base = &linesArr[std::size_t{set} * params.assoc];
+    CacheLine *line = findInSet(set, tag);
+    std::uint32_t way =
+        line ? static_cast<std::uint32_t>(line - base) : 0;
 
     if (!acc.isPrefetch) {
         ++stat.accesses;
         if (acc.isInstr)
             ++stat.instrAccesses;
-        repl->onAccess(set, acc, contains(line_addr));
+        repl->onAccess(set, acc, line != nullptr);
     }
 
     // Fig. 3(d) I-oracle: instructions always hit after first access and
     // occupy no capacity.
     if (params.instrOracle && acc.isInstr) {
-        bool seen = oracleSeen.count(lineNumber(line_addr)) != 0;
-        if (seen) {
+        if (!oracleSeen.insert(tag)) {
             if (!acc.isPrefetch) {
                 ++stat.hits;
-                if (acc.isInstr)
-                    ++stat.instrHits;
+                ++stat.instrHits;
             }
             return true;
         }
-        oracleSeen.insert(lineNumber(line_addr));
         if (!acc.isPrefetch) {
             ++stat.misses;
             ++stat.instrMisses;
@@ -125,26 +162,22 @@ Cache::access(const MemAccess &acc)
         return false;
     }
 
-    Addr tag = lineNumber(line_addr);
-    for (std::uint32_t w = 0; w < params.assoc; ++w) {
-        CacheLine &l = frame(set, w);
-        if (l.valid && l.tag == tag) {
-            if (!acc.isPrefetch) {
-                ++stat.hits;
-                if (acc.isInstr)
-                    ++stat.instrHits;
-                if (l.prefetched) {
-                    l.prefetched = false;
-                    ++stat.prefetchUseful;
-                }
-                repl->onHit(set, w, acc);
-                l.lastUse = ++useTick;
-                l.owner = acc.core;
-                if (acc.isWrite)
-                    l.dirty = true;
+    if (line) {
+        if (!acc.isPrefetch) {
+            ++stat.hits;
+            if (acc.isInstr)
+                ++stat.instrHits;
+            if (line->prefetched) {
+                line->prefetched = false;
+                ++stat.prefetchUseful;
             }
-            return true;
+            repl->onHit(set, way, acc);
+            line->lastUse = ++useTick;
+            line->owner = acc.core;
+            if (acc.isWrite)
+                line->dirty = true;
         }
+        return true;
     }
 
     if (!acc.isPrefetch) {
@@ -303,21 +336,22 @@ Cache::invalidate(Addr line_addr)
 void
 Cache::addPending(Addr line_addr, Cycle ready)
 {
-    pending[lineNumber(line_addr)] = ready;
+    pending.set(lineNumber(line_addr), ready);
 }
 
 Cycle
 Cache::pendingReady(Addr line_addr, Cycle now)
 {
-    auto it = pending.find(lineNumber(line_addr));
-    if (it == pending.end())
+    Addr key = lineNumber(line_addr);
+    Cycle ready = pending.get(key);
+    if (ready == 0)
         return 0;
-    if (it->second <= now) {
-        pending.erase(it);
+    if (ready <= now) {
+        pending.erase(key);
         return 0;
     }
     ++stat.mshrMerges;
-    return it->second;
+    return ready;
 }
 
 bool
@@ -326,12 +360,7 @@ Cache::mshrsFull(Cycle now)
     if (pending.size() < params.mshrs)
         return false;
     // Lazily prune completed fills before declaring pressure.
-    for (auto it = pending.begin(); it != pending.end();) {
-        if (it->second <= now)
-            it = pending.erase(it);
-        else
-            ++it;
-    }
+    pending.pruneExpired(now);
     return pending.size() >= params.mshrs;
 }
 

@@ -4,6 +4,10 @@
  * miss merging, per-line instruction bits, optional way partitioning
  * (Fig. 14(d) baseline), the instruction-oracle mode of Fig. 3(d), and
  * the Garibaldi companion hooks (QBS protection + pairwise prefetch).
+ *
+ * The pending-fill book and the oracle's seen-set are open-addressed
+ * flat tables (flat_tables.hh): no node allocation or hashing through
+ * std::unordered_map on the access path.
  */
 
 #ifndef GARIBALDI_MEM_CACHE_HH
@@ -11,13 +15,12 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache_line.hh"
+#include "mem/flat_tables.hh"
 #include "mem/llc_companion.hh"
 #include "mem/policy/replacement.hh"
 #include "mem/request.hh"
@@ -42,6 +45,16 @@ struct CacheParams
     bool partitionCriticalOnly = false;
     /** Fig. 3(d) I-oracle: instructions always hit after first touch. */
     bool instrOracle = false;
+
+    /**
+     * Bank-interleaving splice: when this cache is one bank of an
+     * interleaved set, @c indexSkipBits bank-select bits starting at
+     * line-number bit @c indexSkipShift are removed from the set index
+     * (the tag keeps the full line number).  Zero bits = monolithic
+     * indexing, bit-identical to the unbanked cache.
+     */
+    std::uint32_t indexSkipShift = 0;
+    std::uint32_t indexSkipBits = 0;
 };
 
 /** Aggregate counters of one cache. */
@@ -72,6 +85,9 @@ struct CacheStats
         return instrAccesses
             ? static_cast<double>(instrMisses) / instrAccesses : 0.0;
     }
+
+    /** Add every counter of @p other into this (bank aggregation). */
+    void accumulate(const CacheStats &other);
 
     StatSet toStatSet() const;
 };
@@ -151,6 +167,7 @@ class Cache
     std::uint32_t setOf(Addr line_addr) const;
 
   private:
+    CacheLine *findInSet(std::uint32_t set, Addr tag);
     CacheLine *findLine(Addr line_addr);
     const CacheLine *findLine(Addr line_addr) const;
     CacheLine &frame(std::uint32_t set, std::uint32_t way);
@@ -166,8 +183,8 @@ class Cache
     LlcCompanion *companion = nullptr;
     Cycle qbsCycles = 0;
     Tick useTick = 0;
-    std::unordered_map<Addr, Cycle> pending;
-    std::unordered_set<Addr> oracleSeen;
+    PendingTable pending;
+    FlatLineSet oracleSeen;
 };
 
 } // namespace garibaldi

@@ -33,7 +33,7 @@ Cycle
 Directory::onFill(Addr line_addr, std::uint32_t cluster, bool is_write,
                   std::vector<std::uint32_t> &invalidate)
 {
-    Entry &e = dir[lineNumber(line_addr)];
+    Entry &e = dir.ref(lineNumber(line_addr));
     std::uint64_t me = std::uint64_t{1} << cluster;
     Cycle penalty = 0;
 
@@ -80,12 +80,12 @@ Directory::onUpgrade(Addr line_addr, std::uint32_t cluster,
 void
 Directory::onEvict(Addr line_addr, std::uint32_t cluster)
 {
-    auto it = dir.find(lineNumber(line_addr));
-    if (it == dir.end())
+    Entry *e = dir.find(lineNumber(line_addr));
+    if (!e)
         return;
-    it->second.sharers &= ~(std::uint64_t{1} << cluster);
-    if (it->second.sharers == 0)
-        dir.erase(it);
+    e->sharers &= ~(std::uint64_t{1} << cluster);
+    if (e->sharers == 0)
+        dir.erase(lineNumber(line_addr));
     // Remaining holders keep their state; a lone Shared sharer stays
     // Shared (silent S->E upgrade not modeled).
 }
@@ -93,26 +93,25 @@ Directory::onEvict(Addr line_addr, std::uint32_t cluster)
 CohState
 Directory::stateOf(Addr line_addr) const
 {
-    auto it = dir.find(lineNumber(line_addr));
-    return it == dir.end() ? CohState::Invalid : it->second.state;
+    const Entry *e = dir.find(lineNumber(line_addr));
+    return e ? e->state : CohState::Invalid;
 }
 
 std::uint32_t
 Directory::sharerCount(Addr line_addr) const
 {
-    auto it = dir.find(lineNumber(line_addr));
-    if (it == dir.end())
+    const Entry *e = dir.find(lineNumber(line_addr));
+    if (!e)
         return 0;
     return static_cast<std::uint32_t>(
-        __builtin_popcountll(it->second.sharers));
+        __builtin_popcountll(e->sharers));
 }
 
 bool
 Directory::isSharer(Addr line_addr, std::uint32_t cluster) const
 {
-    auto it = dir.find(lineNumber(line_addr));
-    return it != dir.end() &&
-           (it->second.sharers & (std::uint64_t{1} << cluster));
+    const Entry *e = dir.find(lineNumber(line_addr));
+    return e && (e->sharers & (std::uint64_t{1} << cluster));
 }
 
 StatSet

@@ -13,11 +13,11 @@
 #define GARIBALDI_MEM_COHERENCE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/flat_tables.hh"
 
 namespace garibaldi
 {
@@ -75,7 +75,7 @@ class Directory
     };
 
     std::uint32_t numClusters;
-    std::unordered_map<Addr, Entry> dir;
+    FlatLineMap<Entry> dir;
     std::uint64_t nInvalidations = 0;
     std::uint64_t nUpgrades = 0;
     std::uint64_t nSharedFills = 0;

@@ -9,7 +9,7 @@ namespace garibaldi
 {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params_)
-    : params(params_)
+    : params(params_), instrCrit(params_.instrCritEntries)
 {
     if (params.numCores == 0)
         fatal("hierarchy needs at least one core");
@@ -43,7 +43,8 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params_)
     }
     CacheParams pllc = params.llc;
     pllc.name = "llc";
-    llcCache = std::make_unique<Cache>(pllc);
+    llcSet = std::make_unique<LlcBankSet>(pllc, params.llcBanks,
+                                          params.llcBankInterleaveShift);
     dramModel = std::make_unique<Dram>(params.dram);
     dir = std::make_unique<Directory>(clusters);
 }
@@ -52,228 +53,245 @@ void
 MemoryHierarchy::setLlcCompanion(LlcCompanion *companion_)
 {
     companion = companion_;
-    llcCache->setCompanion(companion_);
+    llcSet->setCompanion(companion_);
 }
 
 void
-MemoryHierarchy::addLlcObserver(LlcObserver observer)
+MemoryHierarchy::addLlcListener(LlcEventListener *listener)
 {
-    llcObservers.push_back(std::move(observer));
+    llcListeners.push_back(listener);
 }
 
 bool
 MemoryHierarchy::instrIsCritical(Addr line_addr)
 {
     // Emissary-flavored criticality proxy: instruction lines that miss
-    // the LLC repeatedly are the ones stalling the decoders.
-    std::uint8_t &count = instrMissCount[lineNumber(line_addr)];
-    if (count < 255)
-        ++count;
-    return count >= 2;
+    // the LLC repeatedly are the ones stalling the decoders.  The
+    // tracker is a bounded decaying table, so arbitrarily long runs see
+    // stale lines age out instead of the book growing forever.
+    return instrCrit.increment(lineNumber(line_addr)) >= 2;
 }
 
 AccessOutcome
 MemoryHierarchy::access(const MemAccess &acc, Cycle now)
 {
-    CoreId core = acc.core;
-    std::uint32_t cluster = clusterOf(core);
-    Cache &l1 = acc.isInstr ? *l1is[core] : *l1ds[core];
-    Addr line_addr = acc.lineAddr();
-
-    bool hit = l1.access(acc);
-    if (hit) {
-        Cycle ready = l1.pendingReady(line_addr, now);
-        Cycle lat = l1.latency();
-        if (ready > now + lat)
-            lat = ready - now;
-        return {lat, HitLevel::L1, false, false};
-    }
-
-    if (!acc.isPrefetch && l1.mshrsFull(now))
-        ++mshrStalls;
-
-    // Prefetches allocate only at their target level (here: the L1);
-    // pass-through levels serve the data without allocating, keeping
-    // the shared levels free of speculative pollution.
-    AccessOutcome below = accessFromL2(acc, cluster, now,
-                                       /*allocate=*/!acc.isPrefetch);
-
-    // NINE fill into L1; displaced dirty lines write back into L2.
-    Eviction ev = l1.insert(acc);
-    if (ev.valid && ev.dirty)
-        writebackToL2(ev, core, now);
-    l1.addPending(line_addr, now + below.latency);
-
-    Cycle lat = below.latency;
-    if (!acc.isPrefetch && l1.mshrsFull(now))
-        lat += params.mshrFullPenalty;
-
-    // L1-attached prefetchers react to demand traffic.
-    if (!acc.isPrefetch) {
-        pfCandidates.clear();
-        if (acc.isInstr && l1iPf[core])
-            l1iPf[core]->observe(acc, false, pfCandidates);
-        else if (!acc.isInstr && l1dPf[core])
-            l1dPf[core]->observe(acc, false, pfCandidates);
-        if (!pfCandidates.empty()) {
-            std::vector<Addr> cands;
-            cands.swap(pfCandidates);
-            for (Addr a : cands) {
-                MemAccess pf;
-                pf.core = core;
-                pf.paddr = a;
-                pf.isInstr = acc.isInstr;
-                pf.isPrefetch = true;
-                access(pf, now);
-            }
-        }
-    }
-
-    return {lat, below.level, below.llcAccessed, below.llcHit};
+    Transaction txn(acc, now);
+    execute(txn);
+    return txn.outcome();
 }
 
-AccessOutcome
-MemoryHierarchy::accessFromL2(const MemAccess &acc, std::uint32_t cluster,
-                              Cycle now, bool allocate)
+void
+MemoryHierarchy::execute(Transaction &txn)
 {
-    Cache &l2c = *l2s[cluster];
-    Addr line_addr = acc.lineAddr();
-    bool hit = l2c.access(acc);
+    txn.cluster = clusterOf(txn.req.core);
+    Cache &l1 = txn.req.isInstr ? *l1is[txn.req.core]
+                                : *l1ds[txn.req.core];
 
-    AccessOutcome out;
+    if (stageL1Probe(txn, l1))
+        return;
+
+    if (!txn.req.isPrefetch && l1.mshrsFull(txn.issued))
+        ++mshrStalls;
+
+    stageL2(txn);
+    stageL1Fill(txn, l1);
+    stageL1Prefetch(txn);
+}
+
+bool
+MemoryHierarchy::stageL1Probe(Transaction &txn, Cache &l1)
+{
+    if (!l1.access(txn.req))
+        return false;
+    Cycle ready = l1.pendingReady(txn.lineAddr, txn.issued);
+    txn.l1Cycles = l1.latency();
+    if (ready > txn.issued + txn.l1Cycles)
+        txn.l1Cycles = ready - txn.issued;
+    txn.level = HitLevel::L1;
+    return true;
+}
+
+void
+MemoryHierarchy::stageL2(Transaction &txn)
+{
+    Cache &l2c = *l2s[txn.cluster];
+    bool hit = l2c.access(txn.req);
+
     if (hit) {
-        Cycle ready = l2c.pendingReady(line_addr, now);
-        out.latency = l2c.latency();
-        if (ready > now + out.latency)
-            out.latency = ready - now;
-        out.level = HitLevel::L2;
+        Cycle ready = l2c.pendingReady(txn.lineAddr, txn.issued);
+        txn.l2Cycles = l2c.latency();
+        if (ready > txn.issued + txn.l2Cycles)
+            txn.l2Cycles = ready - txn.issued;
+        txn.level = HitLevel::L2;
 
         // Store into a line shared by another cluster: upgrade.
-        if (acc.isWrite && !acc.isPrefetch &&
-            dir->sharerCount(line_addr) > 1) {
-            std::vector<std::uint32_t> inval;
-            Cycle pen = dir->onUpgrade(line_addr, cluster, inval);
-            applyInvalidations(inval, line_addr, now);
-            out.latency += pen;
+        if (txn.req.isWrite && !txn.req.isPrefetch &&
+            dir->sharerCount(txn.lineAddr) > 1) {
+            invalScratch.clear();
+            Cycle pen = dir->onUpgrade(txn.lineAddr, txn.cluster,
+                                       invalScratch);
+            applyInvalidations(invalScratch, txn.lineAddr, txn.issued);
+            txn.coherenceCycles += pen;
             coherencePenaltyCycles += pen;
         }
     } else {
-        AccessOutcome deep = accessLlc(acc, now, allocate);
-        out.latency = deep.latency;
-        out.level = deep.level;
-        out.llcAccessed = true;
-        out.llcHit = deep.llcHit;
+        stageLlc(txn);
 
-        if (allocate) {
-            Eviction ev = l2c.insert(acc);
+        if (txn.allocate) {
+            Eviction ev = l2c.insert(txn.req);
             if (ev.valid) {
-                dir->onEvict(ev.lineAddr, cluster);
+                dir->onEvict(ev.lineAddr, txn.cluster);
                 if (ev.dirty)
-                    writebackToLlc(ev, acc.core, now);
+                    writebackToLlc(ev, txn.req.core, txn.issued);
             }
-            l2c.addPending(line_addr, now + out.latency);
+            l2c.addPending(txn.lineAddr, txn.issued + txn.latency());
 
-            std::vector<std::uint32_t> inval;
-            Cycle pen = dir->onFill(line_addr, cluster, acc.isWrite,
-                                    inval);
-            applyInvalidations(inval, line_addr, now);
-            out.latency += pen;
+            invalScratch.clear();
+            Cycle pen = dir->onFill(txn.lineAddr, txn.cluster,
+                                    txn.req.isWrite, invalScratch);
+            applyInvalidations(invalScratch, txn.lineAddr, txn.issued);
+            txn.coherenceCycles += pen;
             coherencePenaltyCycles += pen;
         }
     }
 
     // GHB watches demand data traffic at the L2.
-    if (!acc.isPrefetch && !acc.isInstr && l2Pf[cluster]) {
-        pfCandidates.clear();
-        l2Pf[cluster]->observe(acc, hit, pfCandidates);
-        if (!pfCandidates.empty()) {
-            std::vector<Addr> cands;
-            cands.swap(pfCandidates);
-            for (Addr a : cands) {
-                MemAccess pf;
-                pf.core = acc.core;
-                pf.paddr = a;
-                pf.isPrefetch = true;
-                if (!l2s[cluster]->access(pf)) {
-                    // GHB targets the L2: pass through the LLC without
-                    // allocating there.
-                    AccessOutcome deep =
-                        accessLlc(pf, now, /*allocate=*/false);
-                    Eviction ev = l2s[cluster]->insert(pf);
-                    if (ev.valid) {
-                        dir->onEvict(ev.lineAddr, cluster);
-                        if (ev.dirty)
-                            writebackToLlc(ev, acc.core, now);
-                    }
-                    l2s[cluster]->addPending(lineAlign(a),
-                                             now + deep.latency);
-                }
-            }
-        }
-    }
-
-    return out;
+    if (!txn.req.isPrefetch && !txn.req.isInstr && l2Pf[txn.cluster])
+        issueGhbPrefetches(txn, l2c, hit);
 }
 
-AccessOutcome
-MemoryHierarchy::accessLlc(const MemAccess &acc, Cycle now,
-                           bool allocate)
+void
+MemoryHierarchy::stageLlc(Transaction &txn)
 {
-    Cache &llcc = *llcCache;
-    Addr line_addr = acc.lineAddr();
-    bool hit = llcc.access(acc);
+    bool hit = llcSet->access(txn.req);
+    txn.llcAccessed = true;
+    txn.llcHit = hit;
 
-    if (!acc.isPrefetch) {
-        for (const auto &obs : llcObservers)
-            obs(acc, hit);
+    if (!txn.req.isPrefetch) {
+        for (LlcEventListener *listener : llcListeners)
+            listener->onLlcAccess(txn, hit);
         if (companion)
-            companion->observeAccess(acc, hit, now);
+            companion->observeAccess(txn.req, hit, txn.issued);
     }
 
-    AccessOutcome out;
-    out.llcAccessed = true;
-    out.llcHit = hit;
     if (hit) {
-        Cycle ready = llcc.pendingReady(line_addr, now);
-        out.latency = llcc.latency();
-        if (ready > now + out.latency)
-            out.latency = ready - now;
-        out.level = HitLevel::LLC;
-        return out;
+        Cycle ready = llcSet->pendingReady(txn.lineAddr, txn.issued);
+        txn.llcCycles = llcSet->latency();
+        if (ready > txn.issued + txn.llcCycles)
+            txn.llcCycles = ready - txn.issued;
+        txn.level = HitLevel::LLC;
+        return;
     }
 
+    stageDramFill(txn);
+}
+
+void
+MemoryHierarchy::stageDramFill(Transaction &txn)
+{
     // Pair-wise prefetch (Fig. 5(c)): triggered while an unprotected
     // demand instruction miss is being served.
-    if (companion && !acc.isPrefetch && acc.isInstr) {
-        pfCandidates.clear();
-        companion->instrMissPrefetch(line_addr, pfCandidates);
-        if (!pfCandidates.empty()) {
-            std::vector<Addr> cands;
-            cands.swap(pfCandidates);
-            for (Addr a : cands)
-                llcOnlyPrefetch(a, acc.core, now);
-        }
+    if (companion && !txn.req.isPrefetch && txn.req.isInstr) {
+        pfScratch.clear();
+        companion->instrMissPrefetch(txn.lineAddr, pfScratch);
+        // Indexed loop: no pfScratch writer is reachable from the
+        // prefetch path, and indexing stays safe even if that changes.
+        for (std::size_t i = 0; i < pfScratch.size(); ++i)
+            llcOnlyPrefetch(pfScratch[i], txn.req.core, txn.issued);
     }
 
-    Cycle dram_lat = dramModel->access(line_addr, false, now);
-    out.latency = llcc.latency() + dram_lat;
-    out.level = HitLevel::Mem;
-    if (!allocate)
-        return out;
+    txn.dramCycles = dramModel->access(txn.lineAddr, false, txn.issued);
+    txn.llcCycles += llcSet->latency();
+    txn.level = HitLevel::Mem;
+    if (!txn.allocate)
+        return;
 
-    bool critical = false;
-    if (acc.isInstr && llcc.config().instrPartitionWays > 0 &&
-        llcc.config().partitionCriticalOnly) {
-        critical = instrIsCritical(line_addr);
+    if (txn.req.isInstr && llcSet->config().instrPartitionWays > 0 &&
+        llcSet->config().partitionCriticalOnly) {
+        txn.critical = instrIsCritical(txn.lineAddr);
     }
 
-    Eviction ev = llcc.insert(acc, false, critical);
+    Eviction ev = llcSet->insert(txn.req, false, txn.critical);
     if (ev.valid && ev.dirty)
-        dramModel->access(ev.lineAddr, true, now);
-    if (!(llcc.oracleFiltersInstr() && acc.isInstr))
-        llcc.addPending(line_addr, now + out.latency);
-    out.latency += llcc.drainQbsCycles();
-    return out;
+        dramModel->access(ev.lineAddr, true, txn.issued);
+    if (!(llcSet->oracleFiltersInstr() && txn.req.isInstr))
+        llcSet->addPending(txn.lineAddr, txn.issued + txn.latency());
+    txn.llcCycles += llcSet->drainQbsCycles(txn.lineAddr);
+}
+
+void
+MemoryHierarchy::stageL1Fill(Transaction &txn, Cache &l1)
+{
+    // NINE fill into L1; displaced dirty lines write back into L2.
+    Eviction ev = l1.insert(txn.req);
+    if (ev.valid && ev.dirty)
+        writebackToL2(ev, txn.req.core, txn.issued);
+    l1.addPending(txn.lineAddr, txn.issued + txn.latency());
+
+    if (!txn.req.isPrefetch && l1.mshrsFull(txn.issued))
+        txn.mshrCycles = params.mshrFullPenalty;
+}
+
+void
+MemoryHierarchy::stageL1Prefetch(Transaction &txn)
+{
+    if (txn.req.isPrefetch)
+        return;
+    CoreId core = txn.req.core;
+    Prefetcher *pf = nullptr;
+    if (txn.req.isInstr && l1iPf[core])
+        pf = l1iPf[core].get();
+    else if (!txn.req.isInstr && l1dPf[core])
+        pf = l1dPf[core].get();
+    if (!pf)
+        return;
+
+    pfScratch.clear();
+    pf->observe(txn.req, false, pfScratch);
+
+    // Issue the candidates as fresh transactions.  Prefetch
+    // transactions never re-enter this stage nor any other pfScratch
+    // writer, so iterating the scratch buffer directly is safe and the
+    // walk terminates.
+    for (std::size_t i = 0; i < pfScratch.size(); ++i) {
+        MemAccess acc;
+        acc.core = core;
+        acc.paddr = pfScratch[i];
+        acc.isInstr = txn.req.isInstr;
+        acc.isPrefetch = true;
+        Transaction sub(acc, txn.issued);
+        execute(sub);
+    }
+}
+
+void
+MemoryHierarchy::issueGhbPrefetches(const Transaction &txn, Cache &l2c,
+                                    bool l2_hit)
+{
+    pfScratch.clear();
+    l2Pf[txn.cluster]->observe(txn.req, l2_hit, pfScratch);
+    // Indexed loop: see stageDramFill's pair-prefetch note.
+    for (std::size_t i = 0; i < pfScratch.size(); ++i) {
+        Addr a = pfScratch[i];
+        MemAccess acc;
+        acc.core = txn.req.core;
+        acc.paddr = a;
+        acc.isPrefetch = true;
+        if (l2c.access(acc))
+            continue;
+        // GHB targets the L2: pass through the LLC without allocating
+        // there.
+        Transaction sub(acc, txn.issued);
+        sub.cluster = txn.cluster;
+        stageLlc(sub);
+        Eviction ev = l2c.insert(acc);
+        if (ev.valid) {
+            dir->onEvict(ev.lineAddr, txn.cluster);
+            if (ev.dirty)
+                writebackToLlc(ev, txn.req.core, txn.issued);
+        }
+        l2c.addPending(lineAlign(a), txn.issued + sub.latency());
+    }
 }
 
 void
@@ -283,22 +301,22 @@ MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
     pf.core = core;
     pf.paddr = line_addr;
     pf.isPrefetch = true;
-    if (llcCache->access(pf))
+    if (llcSet->access(pf))
         return;
     Cycle dram_lat = dramModel->access(lineAlign(line_addr), false, now);
-    Eviction ev = llcCache->insert(pf);
+    Eviction ev = llcSet->insert(pf);
     if (ev.valid && ev.dirty)
         dramModel->access(ev.lineAddr, true, now);
-    llcCache->addPending(lineAlign(line_addr),
-                         now + llcCache->latency() + dram_lat);
+    llcSet->addPending(lineAlign(line_addr),
+                       now + llcSet->latency() + dram_lat);
 }
 
 void
 MemoryHierarchy::writebackToLlc(const Eviction &ev, CoreId core,
                                 Cycle now)
 {
-    if (llcCache->contains(ev.lineAddr)) {
-        llcCache->setDirty(ev.lineAddr);
+    if (llcSet->contains(ev.lineAddr)) {
+        llcSet->setDirty(ev.lineAddr);
         return;
     }
     // Allocate-on-writeback; flagged as prefetch so predictive policies
@@ -308,7 +326,7 @@ MemoryHierarchy::writebackToLlc(const Eviction &ev, CoreId core,
     wb.paddr = ev.lineAddr;
     wb.isInstr = ev.isInstr;
     wb.isPrefetch = true;
-    Eviction displaced = llcCache->insert(wb, /*dirty=*/true);
+    Eviction displaced = llcSet->insert(wb, /*dirty=*/true);
     if (displaced.valid && displaced.dirty)
         dramModel->access(displaced.lineAddr, true, now);
 }
@@ -333,9 +351,9 @@ MemoryHierarchy::writebackToL2(const Eviction &ev, CoreId core, Cycle now)
         if (displaced.dirty)
             writebackToLlc(displaced, core, now);
     }
-    std::vector<std::uint32_t> inval;
-    dir->onFill(ev.lineAddr, cluster, /*is_write=*/true, inval);
-    applyInvalidations(inval, ev.lineAddr, now);
+    invalScratch.clear();
+    dir->onFill(ev.lineAddr, cluster, /*is_write=*/true, invalScratch);
+    applyInvalidations(invalScratch, ev.lineAddr, now);
 }
 
 void
@@ -368,30 +386,22 @@ MemoryHierarchy::stats() const
 {
     StatSet s;
     CacheStats l1i_sum, l1d_sum, l2_sum;
-    auto accumulate = [](CacheStats &into, const CacheStats &from) {
-        into.accesses += from.accesses;
-        into.hits += from.hits;
-        into.misses += from.misses;
-        into.instrAccesses += from.instrAccesses;
-        into.instrHits += from.instrHits;
-        into.instrMisses += from.instrMisses;
-        into.writebacksOut += from.writebacksOut;
-        into.evictions += from.evictions;
-        into.instrEvictions += from.instrEvictions;
-        into.prefetchInserts += from.prefetchInserts;
-        into.prefetchUseful += from.prefetchUseful;
-        into.mshrMerges += from.mshrMerges;
-    };
     for (const auto &c : l1is)
-        accumulate(l1i_sum, c->stats());
+        l1i_sum.accumulate(c->stats());
     for (const auto &c : l1ds)
-        accumulate(l1d_sum, c->stats());
+        l1d_sum.accumulate(c->stats());
     for (const auto &c : l2s)
-        accumulate(l2_sum, c->stats());
+        l2_sum.accumulate(c->stats());
     s.addAll("l1i.", l1i_sum.toStatSet());
     s.addAll("l1d.", l1d_sum.toStatSet());
     s.addAll("l2.", l2_sum.toStatSet());
-    s.addAll("llc.", llcCache->stats().toStatSet());
+    s.addAll("llc.", llcSet->stats().toStatSet());
+    if (llcSet->numBanks() > 1) {
+        s.add("llc.banks", static_cast<double>(llcSet->numBanks()));
+        for (std::uint32_t b = 0; b < llcSet->numBanks(); ++b)
+            s.addAll("llc.bank" + std::to_string(b) + ".",
+                     llcSet->bank(b).stats().toStatSet());
+    }
     s.addAll("dram.", dramModel->stats());
     s.addAll("dir.", dir->stats());
     s.add("mshr_stalls", static_cast<double>(mshrStalls));

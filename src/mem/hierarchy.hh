@@ -1,28 +1,37 @@
 /**
  * @file
  * Full memory hierarchy of the modeled machine (Table 1): per-core
- * L1I/L1D, an L2 shared by each 4-core cluster, one non-inclusive LLC
- * shared by all cores, a MESI directory, hardware prefetchers (L1D
+ * L1I/L1D, an L2 shared by each 4-core cluster, a non-inclusive banked
+ * LLC shared by all cores, a MESI directory, hardware prefetchers (L1D
  * next-line, L2 GHB, L1I I-SPY-like) and DDR5 DRAM.
  *
- * The LLC exposes the Garibaldi companion hooks and an observer list
- * used by the characterization monitors (Fig. 3/4 reproduction).
+ * Accesses flow through an explicit staged pipeline over a first-class
+ * Transaction (transaction.hh):
+ *
+ *   L1 probe → L2 probe → LLC probe → DRAM fill → upkeep
+ *
+ * Each stage records its timing leg on the transaction; writebacks,
+ * directory invalidations and prefetch issue are explicit upkeep steps
+ * rather than recursion.  The LLC exposes the Garibaldi companion hooks
+ * and a virtual-listener fan-out used by the characterization monitors
+ * (Fig. 3/4 reproduction).
  */
 
 #ifndef GARIBALDI_MEM_HIERARCHY_HH
 #define GARIBALDI_MEM_HIERARCHY_HH
 
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
 #include "mem/coherence.hh"
 #include "mem/dram.hh"
+#include "mem/flat_tables.hh"
+#include "mem/llc_bank_set.hh"
 #include "mem/prefetch/ghb.hh"
 #include "mem/prefetch/ispy.hh"
 #include "mem/prefetch/next_line.hh"
+#include "mem/transaction.hh"
 
 namespace garibaldi
 {
@@ -42,24 +51,32 @@ struct HierarchyParams
     bool l1iIspyPrefetcher = true;
     /** Extra stall cycles charged when a cache's MSHRs are full. */
     Cycle mshrFullPenalty = 8;
+
+    /** LLC bank count (power of two; 1 = monolithic seed behavior). */
+    std::uint32_t llcBanks = 1;
+    /** Line-number bit where LLC bank interleaving starts. */
+    std::uint32_t llcBankInterleaveShift = 0;
+    /** Tracked lines in the bounded instruction-criticality table. */
+    std::uint32_t instrCritEntries = 32768;
 };
 
 /** The assembled cache/memory system. */
 class MemoryHierarchy
 {
   public:
-    using LlcObserver = std::function<void(const MemAccess &, bool hit)>;
-
     explicit MemoryHierarchy(const HierarchyParams &params);
 
     /** Service a demand access; returns the load-to-use outcome. */
     AccessOutcome access(const MemAccess &acc, Cycle now);
 
-    /** Attach the Garibaldi module to the LLC. */
+    /** Run @p txn through the staged pipeline. */
+    void execute(Transaction &txn);
+
+    /** Attach the Garibaldi module to the LLC banks. */
     void setLlcCompanion(LlcCompanion *companion);
 
     /** Subscribe to demand LLC accesses (monitors). */
-    void addLlcObserver(LlcObserver observer);
+    void addLlcListener(LlcEventListener *listener);
 
     std::uint32_t clusterOf(CoreId core) const
     {
@@ -73,8 +90,8 @@ class MemoryHierarchy
     Cache &l1i(CoreId core) { return *l1is.at(core); }
     Cache &l1d(CoreId core) { return *l1ds.at(core); }
     Cache &l2(std::uint32_t cluster) { return *l2s.at(cluster); }
-    Cache &llc() { return *llcCache; }
-    const Cache &llc() const { return *llcCache; }
+    LlcBankSet &llc() { return *llcSet; }
+    const LlcBankSet &llc() const { return *llcSet; }
     Dram &dram() { return *dramModel; }
     Directory &directory() { return *dir; }
 
@@ -84,32 +101,45 @@ class MemoryHierarchy
     const HierarchyParams &config() const { return params; }
 
   private:
-    AccessOutcome accessFromL2(const MemAccess &acc,
-                               std::uint32_t cluster, Cycle now,
-                               bool allocate);
-    AccessOutcome accessLlc(const MemAccess &acc, Cycle now,
-                            bool allocate);
+    // ---- pipeline stages ---------------------------------------------
+    /** L1 probe; @return true when the access was serviced there. */
+    bool stageL1Probe(Transaction &txn, Cache &l1);
+    /** L2 probe + descent into the LLC/DRAM stages on a miss. */
+    void stageL2(Transaction &txn);
+    /** LLC probe: listener/companion fan-out, hit leg, miss descent. */
+    void stageLlc(Transaction &txn);
+    /** LLC miss tail: pairwise prefetch, DRAM read, LLC fill. */
+    void stageDramFill(Transaction &txn);
+    /** L1 fill + writeback upkeep + MSHR-pressure penalty. */
+    void stageL1Fill(Transaction &txn, Cache &l1);
+    /** Collect + issue L1-attached prefetcher candidates. */
+    void stageL1Prefetch(Transaction &txn);
+
+    // ---- upkeep helpers ----------------------------------------------
+    void issueGhbPrefetches(const Transaction &txn, Cache &l2c,
+                            bool l2_hit);
+    void llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now);
     void writebackToLlc(const Eviction &ev, CoreId core, Cycle now);
     void writebackToL2(const Eviction &ev, CoreId core, Cycle now);
     void applyInvalidations(const std::vector<std::uint32_t> &clusters,
                             Addr line_addr, Cycle now);
-    void llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now);
     bool instrIsCritical(Addr line_addr);
 
     HierarchyParams params;
     std::vector<std::unique_ptr<Cache>> l1is;
     std::vector<std::unique_ptr<Cache>> l1ds;
     std::vector<std::unique_ptr<Cache>> l2s;
-    std::unique_ptr<Cache> llcCache;
+    std::unique_ptr<LlcBankSet> llcSet;
     std::unique_ptr<Dram> dramModel;
     std::unique_ptr<Directory> dir;
     std::vector<std::unique_ptr<NextLinePrefetcher>> l1dPf;
     std::vector<std::unique_ptr<IspyPrefetcher>> l1iPf;
     std::vector<std::unique_ptr<GhbPrefetcher>> l2Pf;
     LlcCompanion *companion = nullptr;
-    std::vector<LlcObserver> llcObservers;
-    std::vector<Addr> pfCandidates; // scratch, avoids reallocation
-    std::unordered_map<Addr, std::uint8_t> instrMissCount;
+    std::vector<LlcEventListener *> llcListeners;
+    std::vector<Addr> pfScratch; // prefetcher-observe scratch buffer
+    std::vector<std::uint32_t> invalScratch; // directory sharer lists
+    DecayingCounterTable instrCrit;
     std::uint64_t mshrStalls = 0;
     std::uint64_t coherencePenaltyCycles = 0;
 };

@@ -1,0 +1,53 @@
+#include "mem/llc_bank_set.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+LlcBankSet::LlcBankSet(const CacheParams &llc, std::uint32_t banks,
+                       std::uint32_t interleave_shift)
+    : interleaveShift(interleave_shift)
+{
+    if (banks == 0)
+        fatal(llc.name, ": bank count must be non-zero");
+    checkPowerOf2(banks, (llc.name + " bank count").c_str());
+    if (llc.sizeBytes % banks != 0)
+        fatal(llc.name, ": capacity (", llc.sizeBytes,
+              " B) not divisible by ", banks, " banks");
+    bankMask = banks - 1;
+
+    std::uint32_t bank_bits = floorLog2(banks);
+    for (std::uint32_t b = 0; b < banks; ++b) {
+        CacheParams p = llc;
+        if (banks > 1)
+            p.name = llc.name + ".b" + std::to_string(b);
+        p.sizeBytes = llc.sizeBytes / banks;
+        if (banks > 1)
+            p.mshrs = std::max<std::uint32_t>(1, llc.mshrs / banks);
+        p.indexSkipShift = interleave_shift;
+        p.indexSkipBits = bank_bits;
+        banks_.push_back(std::make_unique<Cache>(p));
+    }
+}
+
+void
+LlcBankSet::setCompanion(LlcCompanion *companion)
+{
+    for (auto &b : banks_)
+        b->setCompanion(companion);
+}
+
+CacheStats
+LlcBankSet::stats() const
+{
+    CacheStats sum;
+    for (const auto &b : banks_)
+        sum.accumulate(b->stats());
+    return sum;
+}
+
+} // namespace garibaldi

@@ -8,8 +8,8 @@
  *    (hit/miss) of the data its PC-page triggers (Fig. 4(c)) and the
  *    data-sharing degree (§3.2).
  *
- * Monitors subscribe to the hierarchy's LLC observer hook and are
- * policy-agnostic.
+ * Monitors implement the LlcEventListener interface and subscribe via
+ * MemoryHierarchy::addLlcListener; they are policy-agnostic.
  */
 
 #ifndef GARIBALDI_SIM_MONITORS_HH
@@ -21,12 +21,13 @@
 #include "common/histogram.hh"
 #include "common/stats.hh"
 #include "mem/hierarchy.hh"
+#include "mem/transaction.hh"
 
 namespace garibaldi
 {
 
 /** LRU stack-distance tracker over sampled LLC sets. */
-class ReuseDistanceMonitor
+class ReuseDistanceMonitor : public LlcEventListener
 {
   public:
     /**
@@ -36,8 +37,14 @@ class ReuseDistanceMonitor
     ReuseDistanceMonitor(std::uint32_t llc_sets,
                          unsigned sample_shift = 4);
 
-    /** Hook for MemoryHierarchy::addLlcObserver. */
+    /** Record one demand LLC access. */
     void observe(const MemAccess &acc, bool hit);
+
+    void
+    onLlcAccess(const Transaction &txn, bool hit) override
+    {
+        observe(txn.req, hit);
+    }
 
     /** Mean reuse (stack) distance of instruction lines. */
     double instrMeanDistance() const { return instrDist.mean(); }
@@ -59,10 +66,16 @@ class ReuseDistanceMonitor
 };
 
 /** Per-line access frequency split by class. */
-class LineFrequencyMonitor
+class LineFrequencyMonitor : public LlcEventListener
 {
   public:
     void observe(const MemAccess &acc, bool hit);
+
+    void
+    onLlcAccess(const Transaction &txn, bool hit) override
+    {
+        observe(txn.req, hit);
+    }
 
     /** Mean accesses per distinct instruction line (Fig. 3(c)). */
     double instrAccessesPerLine() const;
@@ -81,10 +94,16 @@ class LineFrequencyMonitor
 };
 
 /** Fig. 4(c): instruction miss rate conditioned on paired-data hotness. */
-class PairingMonitor
+class PairingMonitor : public LlcEventListener
 {
   public:
     void observe(const MemAccess &acc, bool hit);
+
+    void
+    onLlcAccess(const Transaction &txn, bool hit) override
+    {
+        observe(txn.req, hit);
+    }
 
     /**
      * Miss rate of instruction lines whose paired data mostly hits

@@ -42,6 +42,8 @@ SystemConfig::hierarchyParams() const
     h.llc.instrPartitionWays = llcInstrPartitionWays;
     h.llc.partitionCriticalOnly = llcPartitionCriticalOnly;
     h.llc.instrOracle = llcInstrOracle;
+    h.llcBanks = llcBanks;
+    h.llcBankInterleaveShift = llcBankInterleaveShift;
 
     h.dram = dram;
     h.l1dNextLinePrefetcher = l1dNextLinePrefetcher;
@@ -57,6 +59,8 @@ SystemConfig::summary() const
     os << numCores << " cores, LLC "
        << (llcBytes() / (1024.0 * 1024.0)) << " MB " << llcAssoc
        << "-way " << policyKindName(llcPolicy);
+    if (llcBanks > 1)
+        os << " x" << llcBanks << " banks";
     if (garibaldiEnabled)
         os << "+garibaldi(k=" << garibaldi.k << ")";
     if (llcInstrPartitionWays)

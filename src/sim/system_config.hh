@@ -61,6 +61,15 @@ struct SystemConfig
     bool llcPartitionCriticalOnly = false;
     bool llcInstrOracle = false;
 
+    /**
+     * LLC banking: address-interleaved bank count (power of two).  One
+     * bank reproduces the monolithic seed LLC exactly; more banks model
+     * a sharded shared LLC (bank-count/interleave sensitivity studies).
+     */
+    std::uint32_t llcBanks = 1;
+    /** Line-number bit where bank interleaving starts (0 = per-line). */
+    std::uint32_t llcBankInterleaveShift = 0;
+
     // Garibaldi attachment.
     bool garibaldiEnabled = false;
     GaribaldiParams garibaldi{};

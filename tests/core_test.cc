@@ -258,7 +258,7 @@ TEST(CoreModel, ColdLoadsChargeDataComponents)
     for (int i = 0; i < 256; ++i) {
         MicroOp op = plainOp(0x1000 + (i % 4) * 4);
         op.mem = MicroOp::MemKind::Load;
-        op.vaddr = 0x100000 + Addr{i} * 4096; // new page every load
+        op.vaddr = 0x100000 + Addr(i) * 4096; // new page every load
         core.step(op);
     }
     const CpiStack &s = core.stats().cpi;
@@ -281,7 +281,7 @@ TEST(CoreModel, MlpOverlapsIndependentMisses)
     for (int i = 0; i < 512; ++i) {
         MicroOp op = plainOp(0x1000);
         op.mem = MicroOp::MemKind::Load;
-        op.vaddr = 0x200000 + Addr{i} * kLineBytes;
+        op.vaddr = 0x200000 + Addr(i) * kLineBytes;
         core_a.step(op);
         core_b.step(op);
     }
@@ -299,7 +299,7 @@ TEST(CoreModel, StoresCheaperThanLoads)
     CoreModel stores(0, cp, mem_b, 1);
     for (int i = 0; i < 256; ++i) {
         MicroOp op = plainOp(0x1000);
-        op.vaddr = 0x200000 + Addr{i} * kLineBytes;
+        op.vaddr = 0x200000 + Addr(i) * kLineBytes;
         op.mem = MicroOp::MemKind::Load;
         loads.step(op);
         op.mem = MicroOp::MemKind::Store;

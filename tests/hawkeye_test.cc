@@ -175,8 +175,8 @@ TEST(Hawkeye, LearnsFriendlyPc)
     MemAccess a;
     a.pc = friendly_pc;
     for (int i = 0; i < 50; ++i) {
-        a.paddr = Addr{(i % 2) + 1} << kLineShift << 2; // set 0 lines
-        a.paddr = (Addr{(i % 2) + 1} * 4) << kLineShift;
+        a.paddr = Addr((i % 2) + 1) << kLineShift << 2; // set 0 lines
+        a.paddr = (Addr((i % 2) + 1) * 4) << kLineShift;
         p.onAccess(0, a, true);
     }
     EXPECT_TRUE(p.isFriendly(friendly_pc));
@@ -193,7 +193,7 @@ TEST(Hawkeye, LearnsAversePc)
     // Cyclic scan over 50 lines: reuse distance 50 exceeds the OPTgen
     // window (8 x 4 = 32), so every reuse is an OPT miss => detrain.
     for (int i = 0; i < 300; ++i) {
-        a.paddr = (Addr{i % 50} * 4) << kLineShift;
+        a.paddr = (Addr(i % 50) * 4) << kLineShift;
         p.onAccess(0, a, false);
     }
     EXPECT_FALSE(p.isFriendly(scan_pc));
@@ -208,13 +208,13 @@ TEST(Hawkeye, AverseLinesEvictFirst)
     MemAccess scan;
     scan.pc = 0x700;
     for (int i = 0; i < 300; ++i) {
-        scan.paddr = (Addr{i % 50} * 4) << kLineShift;
+        scan.paddr = (Addr(i % 50) * 4) << kLineShift;
         p.onAccess(0, scan, false);
     }
     MemAccess friendly;
     friendly.pc = 0x500;
     for (int i = 0; i < 50; ++i) {
-        friendly.paddr = (Addr{(i % 2) + 1} * 4) << kLineShift;
+        friendly.paddr = (Addr((i % 2) + 1) * 4) << kLineShift;
         p.onAccess(0, friendly, true);
     }
     ASSERT_FALSE(p.isFriendly(0x700));

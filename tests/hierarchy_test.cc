@@ -102,7 +102,7 @@ TEST(Hierarchy, InstrBitPropagatesToLlc)
     MemAccess ifetch = load(0, 0x200000, 0x200000);
     ifetch.isInstr = true;
     mem.access(ifetch, 0);
-    const Cache &llc = mem.llc();
+    const Cache &llc = mem.llc().bank(0);
     bool found = false;
     for (std::uint32_t s = 0; s < llc.numSets() && !found; ++s)
         for (std::uint32_t w = 0; w < llc.assoc() && !found; ++w) {
@@ -146,7 +146,7 @@ TEST(Hierarchy, WritebackReachesDramOnLlcEviction)
     mem.access(store, 0);
     // Walk conflicting lines through to flush the dirty line out.
     for (int i = 1; i < 64; ++i)
-        mem.access(load(0, Addr{i} * 8 * 64), i * 1000);
+        mem.access(load(0, Addr(i) * 8 * 64), i * 1000);
     EXPECT_GT(mem.dram().writes(), 0u);
 }
 
@@ -245,15 +245,32 @@ TEST(Hierarchy, InstrMissTriggersPairPrefetchHook)
     EXPECT_FALSE(mem.l2(0).contains(0x900000));
 }
 
-TEST(Hierarchy, ObserversReceiveAccesses)
+/** Listener counting demand LLC accesses. */
+class CountingListener : public LlcEventListener
+{
+  public:
+    void
+    onLlcAccess(const Transaction &txn, bool hit) override
+    {
+        ++seen;
+        lastLine = txn.lineAddr;
+        lastHit = hit;
+    }
+    int seen = 0;
+    Addr lastLine = 0;
+    bool lastHit = false;
+};
+
+TEST(Hierarchy, ListenersReceiveAccesses)
 {
     MemoryHierarchy mem(smallHier());
-    int seen = 0;
-    mem.addLlcObserver(
-        [&seen](const MemAccess &, bool) { ++seen; });
+    CountingListener listener;
+    mem.addLlcListener(&listener);
     mem.access(load(0, 0x100000), 0);
     mem.access(load(0, 0x110000), 0);
-    EXPECT_EQ(seen, 2);
+    EXPECT_EQ(listener.seen, 2);
+    EXPECT_EQ(listener.lastLine, 0x110000u);
+    EXPECT_FALSE(listener.lastHit);
 }
 
 TEST(Hierarchy, StatsAggregate)

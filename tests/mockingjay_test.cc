@@ -45,7 +45,7 @@ TEST(Mockingjay, TrainsShortReuse)
     // Same line touched by the same PC every 2 sampled accesses.
     for (int i = 0; i < 40; ++i) {
         p.onAccess(0, access(pc, 4), false);
-        p.onAccess(0, access(0x999, Addr{100 + i} * 4), false);
+        p.onAccess(0, access(0x999, Addr(100 + i) * 4), false);
     }
     EXPECT_LE(p.predictedRd(pc), 4u);
     EXPECT_GE(p.predictedRd(pc), 1u);
@@ -57,7 +57,7 @@ TEST(Mockingjay, TrainsScansFar)
     Addr scan_pc = 0x200;
     // Lines touched once and pushed out of the sampler window.
     for (int i = 0; i < 300; ++i)
-        p.onAccess(0, access(scan_pc, Addr{1000 + i} * 4), false);
+        p.onAccess(0, access(scan_pc, Addr(1000 + i) * 4), false);
     EXPECT_GE(p.predictedRd(scan_pc), 2u * 8 * 4 / 2); // far
 }
 
@@ -68,11 +68,11 @@ TEST(Mockingjay, VictimIsFarthestEtr)
     // Train 0x100 near (reuse distance ~2).
     for (int i = 0; i < 40; ++i) {
         p.onAccess(0, access(0x100, 4), false);
-        p.onAccess(0, access(0x998, Addr{200 + i} * 4), false);
+        p.onAccess(0, access(0x998, Addr(200 + i) * 4), false);
     }
     // Train 0x200 far.
     for (int i = 0; i < 300; ++i)
-        p.onAccess(0, access(0x200, Addr{1000 + i} * 4), false);
+        p.onAccess(0, access(0x200, Addr(1000 + i) * 4), false);
 
     p.onInsert(0, 0, access(0x100, 0));
     p.onInsert(0, 1, access(0x200, 4)); // far line
@@ -115,7 +115,7 @@ TEST(Mockingjay, AgingDecrementsEtr)
     // Drive enough set accesses for at least one aging step
     // (granularity = historyLen / maxEtr = 32 / 15 = 2).
     for (int i = 0; i < 8; ++i)
-        p.onAccess(0, access(0x999, Addr{50 + i} * 4), false);
+        p.onAccess(0, access(0x999, Addr(50 + i) * 4), false);
     EXPECT_LT(p.effectiveEtr(0, 0), before);
 }
 
@@ -139,7 +139,7 @@ TEST(Mockingjay, OverdueLinesAreVictims)
     p.onInsert(0, 3, a);
     // Age way 0 far negative by many set accesses; others re-predicted.
     for (int i = 0; i < 100; ++i) {
-        p.onAccess(0, access(0x999, Addr{50 + i} * 4), false);
+        p.onAccess(0, access(0x999, Addr(50 + i) * 4), false);
         p.onHit(0, 1, a);
         p.onHit(0, 2, a);
         p.onHit(0, 3, a);

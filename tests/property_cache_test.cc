@@ -58,9 +58,10 @@ TEST_P(CachePropertyTest, NoDuplicateTagsWithinSets)
         std::set<Addr> tags;
         for (std::uint32_t w = 0; w < cache.assoc(); ++w) {
             const CacheLine &l = cache.lineAt(s, w);
-            if (l.valid)
+            if (l.valid) {
                 EXPECT_TRUE(tags.insert(l.tag).second)
                     << "duplicate tag in set " << s;
+            }
         }
     }
 }
@@ -79,8 +80,9 @@ TEST_P(CachePropertyTest, LinesMapToTheirSet)
     for (std::uint32_t s = 0; s < cache.numSets(); ++s)
         for (std::uint32_t w = 0; w < cache.assoc(); ++w) {
             const CacheLine &l = cache.lineAt(s, w);
-            if (l.valid)
+            if (l.valid) {
                 EXPECT_EQ(cache.setOf(l.tag << kLineShift), s);
+            }
         }
 }
 
@@ -147,9 +149,10 @@ TEST_P(CachePropertyTest, DirtyOnlyIfWritten)
             written.insert(a.lineAddr());
         if (!cache.access(a)) {
             Eviction ev = cache.insert(a);
-            if (ev.valid && ev.dirty)
+            if (ev.valid && ev.dirty) {
                 EXPECT_TRUE(written.count(ev.lineAddr))
                     << "clean line evicted dirty";
+            }
         }
     }
 }
@@ -209,9 +212,10 @@ TEST_P(PairTablePropertyTest, InvariantsUnderRandomTraffic)
             EXPECT_LE(d.missCost, cost_max);
             EXPECT_LT(d.color, 8u);
             for (unsigned f = 0; f < gp.k; ++f) {
-                if (d.fields[f].valid)
+                if (d.fields[f].valid) {
                     EXPECT_LE(d.fields[f].sctr,
                               (1u << gp.sctrBits) - 1);
+                }
             }
         }
     }

@@ -301,8 +301,7 @@ TEST(Monitors, AttachToHierarchy)
     Mix m = homogeneousMix("verilator", 2);
     System sys(cfg, m);
     LineFrequencyMonitor freq;
-    sys.hierarchy().addLlcObserver(
-        [&freq](const MemAccess &a, bool hit) { freq.observe(a, hit); });
+    sys.hierarchy().addLlcListener(&freq);
     Simulator(sys).run(5000, 20000);
     EXPECT_GT(freq.instrAccessRatio(), 0.0);
     EXPECT_GT(freq.stats().get("distinct_data_lines"), 0.0);
