@@ -5,6 +5,9 @@
  * pairwise data prefetch (§4.3).  This bench isolates each on top of
  * Mockingjay, answering which mechanism carries the benefit and
  * whether they compose.
+ *
+ * Runs on the sweep engine with extra metric columns (ifetch stall
+ * cycles, LLC instruction miss rate) extracted per job at fan-out.
  */
 
 #include <cstdio>
@@ -41,35 +44,63 @@ main(int argc, char **argv)
         {"+ both (garibaldi)", true, true, true},
     };
 
-    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
-    TablePrinter t({"variant", "speedup_vs_lru", "ifetch_vs_mj",
-                    "llc_instr_missrate"});
-    std::vector<std::vector<double>> ratios(variants.size());
+    std::vector<Mix> ms;
+    for (const auto &w : benchServerSet(b.full))
+        ms.push_back(homogeneousMix(w, b.cores));
 
-    for (const auto &w : benchServerSet(b.full)) {
-        Mix m = homogeneousMix(w, b.cores);
-        double lru = ctx.runPolicy(PolicyKind::LRU, false, m)
-                         .ipcHarmonicMean();
-        double mj_ifetch = 0;
-        std::printf("--- %s ---\n", w.c_str());
+    std::vector<AxisValue> vs;
+    vs.push_back({"lru", [](SweepPoint &p) {
+                      p.config = configWithPolicy(
+                          p.config, PolicyKind::LRU, false);
+                  }});
+    for (const Variant &v : variants) {
+        vs.push_back({v.label, [v](SweepPoint &p) {
+                          p.config = configWithPolicy(
+                              p.config, PolicyKind::Mockingjay,
+                              v.garibaldi);
+                          p.config.garibaldi.protectionEnabled =
+                              v.protection;
+                          p.config.garibaldi.prefetchEnabled =
+                              v.prefetch;
+                      }});
+    }
+
+    SweepSpec spec(b.config());
+    spec.mixes(ms).axis("variant", vs);
+
+    SweepOptions opts = b.sweepOptions();
+    opts.extraMetrics.push_back(
+        {"ifetch_stalls", [](const SimResult &r, const SweepJob &) {
+             return static_cast<double>(r.ifetchStallCycles());
+         }});
+    opts.extraMetrics.push_back(
+        {"instr_missrate", [](const SimResult &r, const SweepJob &) {
+             return r.mem.get("llc.instr_misses") /
+                    std::max(1.0, r.mem.get("llc.instr_accesses"));
+         }});
+
+    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
+    SweepRunner runner(ctx);
+    ResultsTable results = runner.run(spec, opts);
+
+    std::vector<std::vector<double>> ratios(variants.size());
+    for (const Mix &m : ms) {
+        double lru = results.value(
+            {{"mix", m.name}, {"variant", "lru"}}, "metric");
+        double mj_ifetch = results.value(
+            {{"mix", m.name},
+             {"variant", variants[0].label}},
+            "ifetch_stalls");
+        std::printf("--- %s ---\n", m.name.c_str());
         TablePrinter wt({"variant", "speedup_vs_lru", "ifetch_vs_mj",
                          "llc_instr_missrate"});
         for (std::size_t i = 0; i < variants.size(); ++i) {
-            SystemConfig cfg = configWithPolicy(
-                ctx.baseConfig(), PolicyKind::Mockingjay,
-                variants[i].garibaldi);
-            cfg.garibaldi.protectionEnabled = variants[i].protection;
-            cfg.garibaldi.prefetchEnabled = variants[i].prefetch;
-            SimResult r = ctx.run(cfg, m);
-            double ipc = r.ipcHarmonicMean();
-            double ifetch = static_cast<double>(r.ifetchStallCycles());
-            if (i == 0)
-                mj_ifetch = ifetch;
+            CoordSelector sel{{"mix", m.name},
+                              {"variant", variants[i].label}};
+            double ipc = results.value(sel, "metric");
+            double ifetch = results.value(sel, "ifetch_stalls");
+            double instr_mr = results.value(sel, "instr_missrate");
             ratios[i].push_back(ipc / lru);
-            double instr_mr = r.mem.get("llc.instr_misses") /
-                              std::max(1.0,
-                                       r.mem.get(
-                                           "llc.instr_accesses"));
             wt.addRow({variants[i].label,
                        TablePrinter::pct(ipc / lru - 1, 2),
                        TablePrinter::pct(ifetch / mj_ifetch - 1, 1),

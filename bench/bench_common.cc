@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/logging.hh"
+
 namespace garibaldi
 {
 
@@ -14,8 +16,12 @@ BenchArgs::addTo(ArgParser &args)
     args.addInt("seed", 1, "master seed");
     args.addInt("llc-banks", 1,
                 "LLC bank count (power of two; 1 = monolithic)");
+    args.addInt("jobs", 0,
+                "parallel sweep worker threads (0 = all hardware "
+                "threads); results are identical for any value");
     args.addFlag("full", "full workload set / paper-scale sweep");
     args.addFlag("csv", "emit CSV instead of aligned text");
+    args.addFlag("progress", "per-job sweep progress on stderr");
 }
 
 BenchArgs
@@ -27,8 +33,13 @@ BenchArgs::from(const ArgParser &args)
     b.detailed = static_cast<std::uint64_t>(args.getInt("instr"));
     b.seed = static_cast<std::uint64_t>(args.getInt("seed"));
     b.llcBanks = static_cast<std::uint32_t>(args.getInt("llc-banks"));
+    std::int64_t jobs = args.getInt("jobs");
+    if (jobs < 0)
+        fatal("--jobs must be >= 0 (got ", jobs, ")");
+    b.jobs = static_cast<std::uint32_t>(jobs);
     b.full = args.getFlag("full");
     b.csv = args.getFlag("csv");
+    b.progress = args.getFlag("progress");
     return b;
 }
 
@@ -39,6 +50,15 @@ BenchArgs::config() const
     cfg.seed = seed;
     cfg.llcBanks = llcBanks;
     return cfg;
+}
+
+SweepOptions
+BenchArgs::sweepOptions() const
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.progress = progress;
+    return opts;
 }
 
 std::vector<std::string>

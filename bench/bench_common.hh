@@ -1,7 +1,7 @@
 /**
  * @file
  * Shared scaffolding for the figure/table reproduction benches: common
- * CLI flags (cores, window sizes, --full, --csv), representative
+ * CLI flags (cores, window sizes, --jobs, --full, --csv), representative
  * workload subsets for the sweep figures, and header printing.
  */
 
@@ -14,6 +14,7 @@
 #include "common/cli.hh"
 #include "common/table_printer.hh"
 #include "sim/experiment.hh"
+#include "sweep/sweep_runner.hh"
 #include "workloads/catalog.hh"
 
 namespace garibaldi
@@ -27,8 +28,10 @@ struct BenchArgs
     std::uint64_t detailed = 200000;
     std::uint64_t seed = 1;
     std::uint32_t llcBanks = 1;
+    std::uint32_t jobs = 0; //!< sweep workers; 0 = hardware threads
     bool full = false;
     bool csv = false;
+    bool progress = false;
 
     /** Register the common flags on @p args. */
     static void addTo(ArgParser &args);
@@ -38,6 +41,9 @@ struct BenchArgs
 
     /** Base machine configuration for these settings. */
     SystemConfig config() const;
+
+    /** Sweep execution options for these settings. */
+    SweepOptions sweepOptions() const;
 };
 
 /**

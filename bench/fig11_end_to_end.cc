@@ -4,6 +4,10 @@
  * randomly drawn multiprogrammed server mixes, for Hawkeye and
  * Mockingjay each with and without Garibaldi, sorted by the
  * Mockingjay+Garibaldi speedup (as in the paper).
+ *
+ * Runs on the sweep engine: the (mix x policy) cross product fans out
+ * over --jobs worker threads; the table is assembled from the
+ * ResultsTable afterwards, so output is identical for any --jobs.
  */
 
 #include <algorithm>
@@ -34,27 +38,39 @@ main(int argc, char **argv)
 
     ExperimentContext ctx(b.config(), b.warmup, b.detailed);
 
+    std::vector<Mix> ms;
+    for (int i = 0; i < mixes; ++i)
+        ms.push_back(randomServerMix(b.seed + i, b.cores));
+
+    const std::vector<PolicyVariant> policies = {
+        {"lru", PolicyKind::LRU, false},
+        {"hawkeye", PolicyKind::Hawkeye, false},
+        {"hawkeye+g", PolicyKind::Hawkeye, true},
+        {"mockingjay", PolicyKind::Mockingjay, false},
+        {"mockingjay+g", PolicyKind::Mockingjay, true},
+    };
+    SweepSpec spec(b.config());
+    spec.mixes(ms).policies(policies);
+
+    SweepRunner runner(ctx);
+    ResultsTable results = runner.run(spec, b.sweepOptions());
+
     struct Row
     {
         std::string mix;
         double hawkeye, hawkeye_g, mj, mj_g;
     };
     std::vector<Row> rows;
-    for (int i = 0; i < mixes; ++i) {
-        Mix m = randomServerMix(b.seed + i, b.cores);
-        double lru = ctx.metric(
-            ctx.runPolicy(PolicyKind::LRU, false, m), m);
-        Row r;
-        r.mix = m.name;
-        r.hawkeye = ctx.metric(
-            ctx.runPolicy(PolicyKind::Hawkeye, false, m), m) / lru;
-        r.hawkeye_g = ctx.metric(
-            ctx.runPolicy(PolicyKind::Hawkeye, true, m), m) / lru;
-        r.mj = ctx.metric(
-            ctx.runPolicy(PolicyKind::Mockingjay, false, m), m) / lru;
-        r.mj_g = ctx.metric(
-            ctx.runPolicy(PolicyKind::Mockingjay, true, m), m) / lru;
-        rows.push_back(r);
+    for (const Mix &m : ms) {
+        auto speedup = [&](const char *policy) {
+            return results.value({{"mix", m.name}, {"policy", policy}},
+                                 "metric") /
+                   results.value({{"mix", m.name}, {"policy", "lru"}},
+                                 "metric");
+        };
+        rows.push_back({m.name, speedup("hawkeye"),
+                        speedup("hawkeye+g"), speedup("mockingjay"),
+                        speedup("mockingjay+g")});
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &bb) { return a.mj_g < bb.mj_g; });

@@ -3,6 +3,9 @@
  * Fig. 12 reproduction: per-workload speedup over the LRU baseline for
  * DRRIP, Hawkeye and Mockingjay, each with and without Garibaldi, on
  * homogeneous server mixes (harmonic-mean IPC metric, §6).
+ *
+ * Runs on the sweep engine (workload x policy cross product, --jobs
+ * worker threads).
  */
 
 #include <cstdio>
@@ -26,28 +29,38 @@ main(int argc, char **argv)
                      b.config(), b);
 
     ExperimentContext ctx(b.config(), b.warmup, b.detailed);
-    const std::vector<std::pair<PolicyKind, bool>> configs = {
-        {PolicyKind::DRRIP, false},   {PolicyKind::DRRIP, true},
-        {PolicyKind::Hawkeye, false}, {PolicyKind::Hawkeye, true},
-        {PolicyKind::Mockingjay, false},
-        {PolicyKind::Mockingjay, true},
+    const std::vector<PolicyVariant> policies = {
+        {"lru", PolicyKind::LRU, false},
+        {"drrip", PolicyKind::DRRIP, false},
+        {"drrip+g", PolicyKind::DRRIP, true},
+        {"hawkeye", PolicyKind::Hawkeye, false},
+        {"hawkeye+g", PolicyKind::Hawkeye, true},
+        {"mockingjay", PolicyKind::Mockingjay, false},
+        {"mockingjay+g", PolicyKind::Mockingjay, true},
     };
+
+    std::vector<std::string> workloads =
+        b.full ? serverWorkloadNames() : benchServerSet(false);
+    std::vector<Mix> ms;
+    for (const auto &w : workloads)
+        ms.push_back(homogeneousMix(w, b.cores));
+
+    SweepSpec spec(b.config());
+    spec.mixes(ms).policies(policies);
+    SweepRunner runner(ctx);
+    ResultsTable results = runner.run(spec, b.sweepOptions());
 
     TablePrinter t({"workload", "drrip", "drrip+g", "hawkeye",
                     "hawkeye+g", "mockingjay", "mockingjay+g"});
-    std::vector<std::vector<double>> ratios(configs.size());
-    std::vector<std::string> workloads =
-        b.full ? serverWorkloadNames() : benchServerSet(false);
+    std::vector<std::vector<double>> ratios(policies.size() - 1);
     for (const auto &w : workloads) {
-        Mix m = homogeneousMix(w, b.cores);
-        double lru = ctx.runPolicy(PolicyKind::LRU, false, m)
-                         .ipcHarmonicMean();
+        double lru =
+            results.value({{"mix", w}, {"policy", "lru"}}, "metric");
         std::vector<std::string> row{w};
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            double ipc = ctx.runPolicy(configs[i].first,
-                                       configs[i].second, m)
-                             .ipcHarmonicMean();
-            ratios[i].push_back(ipc / lru);
+        for (std::size_t i = 1; i < policies.size(); ++i) {
+            double ipc = results.value(
+                {{"mix", w}, {"policy", policies[i].label}}, "metric");
+            ratios[i - 1].push_back(ipc / lru);
             row.push_back(TablePrinter::pct(ipc / lru - 1, 1));
         }
         t.addRow(row);

@@ -3,6 +3,9 @@
  * Fig. 16 reproduction: Mockingjay and Mockingjay+Garibaldi across LLC
  * capacities (paper: 15-60 MB at 40 cores; here the same 0.5x-2x span
  * around the scaled baseline), normalized to the baseline-capacity LRU.
+ *
+ * Runs on the sweep engine: workload x llc_kb x policy jobs plus the
+ * 1x LRU baseline rows, one fan-out over --jobs workers.
  */
 
 #include <cstdio>
@@ -34,27 +37,57 @@ main(int argc, char **argv)
     if (b.full)
         capacities.push_back({"4x", 4.0});
 
+    const std::uint64_t base_kb = b.config().llcBytesPerCore / 1024;
+    std::vector<std::uint64_t> kb_points;
+    for (const auto &[label, scale] : capacities) {
+        (void)label;
+        kb_points.push_back(static_cast<std::uint64_t>(
+            static_cast<double>(base_kb) * scale));
+    }
+
+    std::vector<Mix> ms;
+    for (const auto &w : benchServerSet(b.full))
+        ms.push_back(homogeneousMix(w, b.cores));
+
+    std::vector<SweepJob> jobs;
+    {
+        // The normalization baseline: LRU at 1x capacity.
+        SweepSpec base(b.config());
+        base.policies({{"lru", PolicyKind::LRU, false}}).mixes(ms);
+        appendJobs(jobs, base.expand());
+    }
+    {
+        SweepSpec s(b.config());
+        s.llcSizeKb(kb_points)
+            .policies({{"mockingjay", PolicyKind::Mockingjay, false},
+                       {"mockingjay+g", PolicyKind::Mockingjay, true}})
+            .mixes(ms);
+        appendJobs(jobs, s.expand());
+    }
+
+    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
+    SweepRunner runner(ctx);
+    ResultsTable results = runner.run(jobs, b.sweepOptions());
+
     TablePrinter t({"workload", "capacity", "mockingjay",
                     "mockingjay+g", "garibaldi_delta"});
-    for (const auto &w : benchServerSet(b.full)) {
-        // The normalization baseline: LRU at 1x.
-        ExperimentContext base_ctx(b.config(), b.warmup, b.detailed);
-        Mix m = homogeneousMix(w, b.cores);
-        double lru_base =
-            base_ctx.runPolicy(PolicyKind::LRU, false, m)
-                .ipcHarmonicMean();
-        for (const auto &[label, scale] : capacities) {
-            SystemConfig cfg = b.config();
-            cfg.llcBytesPerCore = static_cast<std::uint64_t>(
-                cfg.llcBytesPerCore * scale);
-            ExperimentContext ctx(cfg, b.warmup, b.detailed);
-            double mj = ctx.runPolicy(PolicyKind::Mockingjay, false, m)
-                            .ipcHarmonicMean() /
+    for (const Mix &m : ms) {
+        double lru_base = results.value(
+            {{"mix", m.name}, {"policy", "lru"}}, "metric");
+        for (std::size_t c = 0; c < capacities.size(); ++c) {
+            std::string kb = std::to_string(kb_points[c]);
+            double mj = results.value({{"mix", m.name},
+                                       {"llc_kb", kb},
+                                       {"policy", "mockingjay"}},
+                                      "metric") /
                         lru_base;
-            double mjg = ctx.runPolicy(PolicyKind::Mockingjay, true, m)
-                             .ipcHarmonicMean() /
+            double mjg = results.value({{"mix", m.name},
+                                        {"llc_kb", kb},
+                                        {"policy", "mockingjay+g"}},
+                                       "metric") /
                          lru_base;
-            t.addRow({w, label, TablePrinter::num(mj, 4),
+            t.addRow({m.name, capacities[c].first,
+                      TablePrinter::num(mj, 4),
                       TablePrinter::num(mjg, 4),
                       TablePrinter::pct(mjg / mj - 1, 2)});
         }

@@ -3,6 +3,9 @@
  * Fig. 17 reproduction: Mockingjay and Mockingjay+Garibaldi across LLC
  * associativities (6/12/24/48 ways, capacity fixed), normalized to the
  * 12-way LRU baseline.
+ *
+ * Runs on the sweep engine (workload x ways x policy + the 12-way LRU
+ * baseline, one fan-out over --jobs workers).
  */
 
 #include <cstdio>
@@ -25,29 +28,51 @@ main(int argc, char **argv)
                      "(capacity fixed)",
                      b.config(), b);
 
+    const std::vector<std::uint32_t> ways_list = {6, 12, 24, 48};
+    std::vector<Mix> ms;
+    for (const auto &w : benchServerSet(b.full))
+        ms.push_back(homogeneousMix(w, b.cores));
+
+    std::vector<SweepJob> jobs;
+    {
+        // Baseline: LRU at the default 12-way associativity.
+        SweepSpec base(b.config());
+        base.policies({{"lru", PolicyKind::LRU, false}}).mixes(ms);
+        appendJobs(jobs, base.expand());
+    }
+    {
+        SweepSpec s(b.config());
+        s.llcAssociativity(ways_list)
+            .policies({{"mockingjay", PolicyKind::Mockingjay, false},
+                       {"mockingjay+g", PolicyKind::Mockingjay, true}})
+            .mixes(ms);
+        appendJobs(jobs, s.expand());
+    }
+
+    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
+    SweepRunner runner(ctx);
+    ResultsTable results = runner.run(jobs, b.sweepOptions());
+
     TablePrinter t({"workload", "ways", "mockingjay", "mockingjay+g",
                     "garibaldi_delta"});
     std::vector<double> delta_by_ways[4];
-    const std::vector<std::uint32_t> ways_list = {6, 12, 24, 48};
-    for (const auto &w : benchServerSet(b.full)) {
-        ExperimentContext base_ctx(b.config(), b.warmup, b.detailed);
-        Mix m = homogeneousMix(w, b.cores);
-        double lru_base =
-            base_ctx.runPolicy(PolicyKind::LRU, false, m)
-                .ipcHarmonicMean();
+    for (const Mix &m : ms) {
+        double lru_base = results.value(
+            {{"mix", m.name}, {"policy", "lru"}}, "metric");
         for (std::size_t i = 0; i < ways_list.size(); ++i) {
-            SystemConfig cfg = b.config();
-            cfg.llcAssoc = ways_list[i];
-            ExperimentContext ctx(cfg, b.warmup, b.detailed);
-            double mj = ctx.runPolicy(PolicyKind::Mockingjay, false, m)
-                            .ipcHarmonicMean() /
+            std::string ways = std::to_string(ways_list[i]);
+            double mj = results.value({{"mix", m.name},
+                                       {"ways", ways},
+                                       {"policy", "mockingjay"}},
+                                      "metric") /
                         lru_base;
-            double mjg = ctx.runPolicy(PolicyKind::Mockingjay, true, m)
-                             .ipcHarmonicMean() /
+            double mjg = results.value({{"mix", m.name},
+                                        {"ways", ways},
+                                        {"policy", "mockingjay+g"}},
+                                       "metric") /
                          lru_base;
             delta_by_ways[i].push_back(mjg / mj);
-            t.addRow({w, std::to_string(ways_list[i]),
-                      TablePrinter::num(mj, 4),
+            t.addRow({m.name, ways, TablePrinter::num(mj, 4),
                       TablePrinter::num(mjg, 4),
                       TablePrinter::pct(mjg / mj - 1, 2)});
         }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verify with warnings promoted to errors, plus the hot-path
-# throughput microbenchmark.  Usage: scripts/ci.sh [build-dir]
+# Tier-1 verify with warnings promoted to errors, the hot-path
+# throughput microbenchmark, and the sweep-engine determinism +
+# wall-clock checks.  Emits BENCH_micro_pipeline.json (accesses/sec)
+# and BENCH_sweep.json (parallel speedup) so the perf trajectory is
+# tracked across PRs.  Usage: scripts/ci.sh [build-dir]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,7 +19,54 @@ cmake --build "$build" -j "$jobs"
 echo "== ctest =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
+# (sweep_test, run by the ctest pass above, pins the unit-level
+# determinism properties; here we also pin the end-to-end bytes.
+# The diff uses a fixed --jobs 8 so the multi-threaded path is
+# exercised even on a 1-CPU host, where $(nproc) would compare the
+# serial path against itself.)
+echo "== sweep determinism (bank_sensitivity bytes, --jobs 1 vs 8) =="
+bank_args=(--warmup 10000 --instr 20000 --mixes 1)
+t1_start=$(date +%s.%N)
+"$build/bank_sensitivity" "${bank_args[@]}" --jobs 1 > "$build/bank_j1.txt"
+t1_end=$(date +%s.%N)
+tn_start=$(date +%s.%N)
+"$build/bank_sensitivity" "${bank_args[@]}" --jobs 8 > "$build/bank_j8.txt"
+tn_end=$(date +%s.%N)
+if ! diff -q "$build/bank_j1.txt" "$build/bank_j8.txt" > /dev/null; then
+  echo "FAIL: bank_sensitivity output differs between --jobs 1 and --jobs 8"
+  diff "$build/bank_j1.txt" "$build/bank_j8.txt" | head -20
+  exit 1
+fi
+echo "bank_sensitivity: --jobs 1 vs --jobs 8 byte-identical"
+
+# Wall-clock speedup is only meaningful on multi-core hosts; the JSON
+# records host_cpus so 1-CPU results read as the no-op they are.
+t1=$(echo "$t1_end $t1_start" | awk '{printf "%.3f", $1 - $2}')
+tn=$(echo "$tn_end $tn_start" | awk '{printf "%.3f", $1 - $2}')
+speedup=$(echo "$t1 $tn" | awk '{printf "%.3f", $1 / $2}')
+cat > "$build/BENCH_sweep.json" <<EOF
+{
+  "bench": "bank_sensitivity",
+  "workers": 8,
+  "host_cpus": $jobs,
+  "serial_seconds": $t1,
+  "parallel_seconds": $tn,
+  "speedup": $speedup
+}
+EOF
+echo "sweep wall-clock: ${t1}s serial vs ${tn}s with 8 workers on $jobs cpu(s) (speedup ${speedup}x)"
+cat "$build/BENCH_sweep.json"
+
 echo "== hot-path throughput (accesses/sec; track across PRs) =="
-"$build/micro_pipeline" --quick
+"$build/micro_pipeline" --quick | tee "$build/micro_pipeline.txt"
+rate=$(awk '$1 == 8 && $2 == 1 {print $3}' "$build/micro_pipeline.txt")
+cat > "$build/BENCH_micro_pipeline.json" <<EOF
+{
+  "bench": "micro_pipeline",
+  "config": "8 cores, 1 llc bank, --quick",
+  "accesses_per_sec": ${rate:-0}
+}
+EOF
+cat "$build/BENCH_micro_pipeline.json"
 
 echo "CI OK"

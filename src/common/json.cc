@@ -1,0 +1,465 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+JsonValue
+JsonValue::boolean(bool v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::number(double v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.num_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::string(std::string v)
+{
+    JsonValue j;
+    j.kind_ = Kind::String;
+    j.str_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        fatal("json: not a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("json: not a string");
+    return str_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array)
+        fatal("json: push on non-array");
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    fatal("json: size of scalar");
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    if (kind_ != Kind::Array || i >= arr_.size())
+        fatal("json: bad array index ", i);
+    return arr_[i];
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        fatal("json: set on non-object");
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+const JsonValue &
+JsonValue::get(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: get on non-object");
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return kv.second;
+    fatal("json: missing key '", key, "'");
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: members of non-object");
+    return obj_;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // JSON proper has no non-finite literals; emit the JSON5-style
+    // tokens, which our parser (and strtod generally) reads back.
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "Infinity" : "-Infinity";
+    // Integers up to 2^53 print exactly; otherwise shortest %.17g that
+    // round-trips, trying %.15g and %.16g first to avoid noise digits.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    for (int prec = 15; prec <= 17; ++prec) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(std::size_t(indent) * (depth + 1), ' ')
+                   : "";
+    const std::string padEnd =
+        indent > 0 ? std::string(std::size_t(indent) * depth, ' ') : "";
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += jsonNumber(num_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(str_);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            out += pad;
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += ',';
+            out += nl;
+        }
+        out += padEnd;
+        out += ']';
+        break;
+      case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            out += pad;
+            out += '"';
+            out += jsonEscape(obj_[i].first);
+            out += '"';
+            out += colon;
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                out += ',';
+            out += nl;
+        }
+        out += padEnd;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a complete in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json parse error at offset ", pos, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (s.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    stringLit()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    fail("bad \\u escape");
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(s.substr(pos, 4).c_str(), nullptr,
+                                 16));
+                pos += 4;
+                // Only BMP code points below 0x80 are emitted by our
+                // writer; map the rest through UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    value()
+    {
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            JsonValue obj = JsonValue::object();
+            if (peek() == '}') {
+                ++pos;
+                return obj;
+            }
+            while (true) {
+                std::string key = stringLit();
+                expect(':');
+                obj.set(key, value());
+                char d = peek();
+                ++pos;
+                if (d == '}')
+                    return obj;
+                if (d != ',')
+                    fail("expected ',' or '}'");
+                skipWs();
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            JsonValue arr = JsonValue::array();
+            if (peek() == ']') {
+                ++pos;
+                return arr;
+            }
+            while (true) {
+                arr.push(value());
+                char d = peek();
+                ++pos;
+                if (d == ']')
+                    return arr;
+                if (d != ',')
+                    fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"')
+            return JsonValue::string(stringLit());
+        skipWs();
+        if (consume("true"))
+            return JsonValue::boolean(true);
+        if (consume("false"))
+            return JsonValue::boolean(false);
+        if (consume("null"))
+            return JsonValue();
+        // Number.
+        char *end = nullptr;
+        double v = std::strtod(s.c_str() + pos, &end);
+        if (end == s.c_str() + pos)
+            fail("invalid value");
+        pos = static_cast<std::size_t>(end - s.c_str());
+        return JsonValue::number(v);
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+} // namespace garibaldi

@@ -39,12 +39,17 @@ ExperimentContext::runPolicy(PolicyKind kind, bool garibaldi_enabled,
 }
 
 double
-ExperimentContext::soloIpc(const std::string &workload)
+ExperimentContext::soloIpc(const std::string &workload) const
 {
-    auto it = soloCache.find(workload);
-    if (it != soloCache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lk(soloMutex);
+        auto it = soloCache.find(workload);
+        if (it != soloCache.end())
+            return it->second;
+    }
 
+    // Compute outside the lock so independent workloads warm in
+    // parallel; a concurrent duplicate computes the same value.
     SystemConfig solo = base;
     solo.numCores = 1;
     solo.coresPerL2 = 1;
@@ -56,12 +61,13 @@ ExperimentContext::soloIpc(const std::string &workload)
     Mix m = homogeneousMix(workload, 1);
     SimResult r = run(solo, m);
     double ipc = r.cores.at(0).ipc;
+    std::lock_guard<std::mutex> lk(soloMutex);
     soloCache.emplace(workload, ipc);
     return ipc;
 }
 
 double
-ExperimentContext::metric(const SimResult &result, const Mix &mix)
+ExperimentContext::metric(const SimResult &result, const Mix &mix) const
 {
     if (mix.homogeneous())
         return result.ipcHarmonicMean();

@@ -4,13 +4,21 @@
  * tests: builds systems, runs them, computes the §6 metrics (harmonic
  * mean IPC for homogeneous mixes, weighted speedup for heterogeneous
  * mixes) and caches per-workload solo IPCs for the weighting.
+ *
+ * The context is safe for concurrent callers (the sweep engine fans
+ * jobs out across a thread pool): run() builds an independent System
+ * per call, and the solo-IPC cache behind metric()/soloIpc() is
+ * mutex-guarded.  Solo IPCs are deterministic functions of the base
+ * config, so duplicated computation under contention is benign.
  */
 
 #ifndef GARIBALDI_SIM_EXPERIMENT_HH
 #define GARIBALDI_SIM_EXPERIMENT_HH
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
@@ -46,14 +54,17 @@ class ExperimentContext
     /**
      * §6 metric of a finished run: harmonic-mean IPC for homogeneous
      * mixes, weighted speedup (vs cached solo IPCs) otherwise.
+     * Thread-safe.
      */
-    double metric(const SimResult &result, const Mix &mix);
+    double metric(const SimResult &result, const Mix &mix) const;
 
     /**
      * Solo IPC of @p workload on a single-core instance of the base
      * machine under LRU; cached for the context's lifetime.
+     * Thread-safe: concurrent misses may duplicate the (deterministic)
+     * solo run, but the cached value is identical either way.
      */
-    double soloIpc(const std::string &workload);
+    double soloIpc(const std::string &workload) const;
 
     const SystemConfig &baseConfig() const { return base; }
     std::uint64_t warmupInstructions() const { return warmup; }
@@ -63,7 +74,8 @@ class ExperimentContext
     SystemConfig base;
     std::uint64_t warmup;
     std::uint64_t detailed;
-    std::map<std::string, double> soloCache;
+    mutable std::mutex soloMutex;
+    mutable std::map<std::string, double> soloCache;
 };
 
 } // namespace garibaldi

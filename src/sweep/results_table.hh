@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Structured sweep results: a rectangular table of string coordinate
+ * columns (axis labels) and double metric columns, one row per
+ * SweepJob, stored in job-index order so output is deterministic
+ * regardless of execution interleaving.  Emits CSV and JSON and parses
+ * both back (numbers print via jsonNumber() so values survive the
+ * round trip; JSON is self-describing, CSV needs the coord-column
+ * count when coordinate labels are numeric — see fromCsv), and
+ * supports coordinate-selector lookups so benches can normalize
+ * against baseline rows (e.g. policy=lru) after a single fan-out.
+ */
+
+#ifndef GARIBALDI_SWEEP_RESULTS_TABLE_HH
+#define GARIBALDI_SWEEP_RESULTS_TABLE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace garibaldi
+{
+
+/** (column, value) pairs; a row matches when all pairs match. */
+using CoordSelector =
+    std::vector<std::pair<std::string, std::string>>;
+
+/** Aggregated sweep output. */
+class ResultsTable
+{
+  public:
+    struct Row
+    {
+        std::vector<std::string> coords;  //!< per coord column
+        std::vector<double> metrics;      //!< per metric column
+    };
+
+    ResultsTable() = default;
+    ResultsTable(std::vector<std::string> coord_columns,
+                 std::vector<std::string> metric_columns);
+
+    /** Pre-size to @p rows empty rows (filled by index). */
+    void resize(std::size_t rows);
+
+    /** Fill row @p i; sizes must match the column counts. */
+    void setRow(std::size_t i, std::vector<std::string> coords,
+                std::vector<double> metrics);
+
+    std::size_t rowCount() const { return rows_.size(); }
+    const Row &row(std::size_t i) const;
+    const std::vector<std::string> &coordColumns() const
+    {
+        return coordCols;
+    }
+    const std::vector<std::string> &metricColumns() const
+    {
+        return metricCols;
+    }
+
+    /** Rows matching every (column, value) pair of @p sel. */
+    std::vector<const Row *> select(const CoordSelector &sel) const;
+
+    /**
+     * The @p metric value of the unique row matching @p sel; fatal()
+     * on zero or multiple matches (selector underspecified).
+     */
+    double value(const CoordSelector &sel,
+                 const std::string &metric) const;
+
+    /** Coordinate value of @p row in column @p name. */
+    const std::string &coordOf(const Row &row,
+                               const std::string &name) const;
+
+    /** RFC-4180-style CSV: header line then one line per row. */
+    std::string toCsv() const;
+
+    /** JSON document: {"coords":[...],"metrics":[...],"rows":[...]} */
+    std::string toJson(int indent = 2) const;
+
+    /**
+     * Parse CSV back into a table.  CSV carries no coord/metric
+     * distinction, so pass @p coord_columns (the number of leading
+     * coordinate columns) when known.  The default (-1) infers the
+     * split from the first data row — trailing numeric fields become
+     * metrics — which misclassifies coordinate axes with purely
+     * numeric labels (banks, ways, cores…); JSON is the authoritative
+     * self-describing round-trip format.
+     */
+    static ResultsTable fromCsv(const std::string &text,
+                                int coord_columns = -1);
+    static ResultsTable fromJson(const std::string &text);
+
+    bool operator==(const ResultsTable &other) const;
+    bool operator!=(const ResultsTable &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    std::size_t coordIndex(const std::string &name) const;
+    std::size_t metricIndex(const std::string &name) const;
+
+    std::vector<std::string> coordCols;
+    std::vector<std::string> metricCols;
+    std::vector<Row> rows_;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_SWEEP_RESULTS_TABLE_HH

@@ -1,0 +1,98 @@
+#include "sweep/sweep_runner.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "sweep/thread_pool.hh"
+
+namespace garibaldi
+{
+
+SweepRunner::SweepRunner(const ExperimentContext &ctx_) : ctx(ctx_) {}
+
+ResultsTable
+SweepRunner::run(const SweepSpec &spec, const SweepOptions &opts) const
+{
+    return run(spec.expand(), opts);
+}
+
+ResultsTable
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 const SweepOptions &opts) const
+{
+    // Union of coordinate axes, in first-appearance order.
+    std::vector<std::string> coord_cols;
+    for (const SweepJob &j : jobs)
+        for (const auto &kv : j.coords)
+            if (std::find(coord_cols.begin(), coord_cols.end(),
+                          kv.first) == coord_cols.end())
+                coord_cols.push_back(kv.first);
+
+    std::vector<std::string> metric_cols{"metric"};
+    for (const MetricColumn &m : opts.extraMetrics)
+        metric_cols.push_back(m.name);
+
+    ResultsTable table(coord_cols, metric_cols);
+    table.resize(jobs.size());
+    if (jobs.empty())
+        return table;
+
+    ThreadPool pool(opts.jobs);
+
+    // Pre-warm the solo-IPC cache: heterogeneous mixes need per-
+    // workload solo baselines for the weighted-speedup metric, and
+    // warming them here (itself on the pool — solo runs are
+    // independent) keeps the fan-out below free of cache misses.
+    std::vector<std::string> solo_workloads;
+    for (const SweepJob &j : jobs) {
+        if (j.mix.homogeneous())
+            continue;
+        for (const std::string &w : j.mix.slots)
+            if (std::find(solo_workloads.begin(), solo_workloads.end(),
+                          w) == solo_workloads.end())
+                solo_workloads.push_back(w);
+    }
+    if (!solo_workloads.empty()) {
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "sweep: pre-warming %zu solo IPC(s)\n",
+                         solo_workloads.size());
+        pool.parallelFor(solo_workloads.size(),
+                         [&](std::size_t i) {
+                             ctx.soloIpc(solo_workloads[i]);
+                         });
+    }
+
+    std::mutex progress_mtx;
+    std::size_t done = 0;
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        SimResult result = ctx.run(job.config, job.mix);
+        std::vector<double> metrics;
+        metrics.reserve(metric_cols.size());
+        metrics.push_back(ctx.metric(result, job.mix));
+        for (const MetricColumn &m : opts.extraMetrics)
+            metrics.push_back(m.extract(result, job));
+
+        // Project the job's coordinates onto the union columns.
+        std::vector<std::string> coords;
+        coords.reserve(coord_cols.size());
+        for (const std::string &col : coord_cols)
+            coords.push_back(job.hasCoord(col) ? job.coord(col) : "");
+
+        table.setRow(i, std::move(coords), std::move(metrics));
+
+        if (opts.progress) {
+            std::lock_guard<std::mutex> lk(progress_mtx);
+            ++done;
+            std::fprintf(stderr, "sweep: %zu/%zu  %s\n", done,
+                         jobs.size(), job.describe().c_str());
+        }
+    });
+
+    return table;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Thread-pooled sweep execution.
+ *
+ * SweepRunner drives a list of SweepJobs through an ExperimentContext
+ * on a fixed-size worker pool.  Each job builds and runs its own
+ * System (the simulator stays single-threaded); the only shared
+ * mutable state is the context's solo-IPC cache, which is pre-warmed
+ * before fan-out and mutex-guarded besides.  Results land in a
+ * ResultsTable slot addressed by job index, so the table — and
+ * everything printed from it — is byte-identical for any --jobs value.
+ */
+
+#ifndef GARIBALDI_SWEEP_SWEEP_RUNNER_HH
+#define GARIBALDI_SWEEP_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sweep/results_table.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace garibaldi
+{
+
+/** An extra per-job output column beyond the §6 metric. */
+struct MetricColumn
+{
+    std::string name;
+    std::function<double(const SimResult &, const SweepJob &)> extract;
+};
+
+/** Execution knobs for one sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 1;
+    /** Emit per-job completion lines on stderr. */
+    bool progress = false;
+    /** Extra metric columns appended after "metric". */
+    std::vector<MetricColumn> extraMetrics;
+};
+
+/** Runs expanded sweeps against one ExperimentContext. */
+class SweepRunner
+{
+  public:
+    /** @param ctx shared run settings; must outlive the runner. */
+    explicit SweepRunner(const ExperimentContext &ctx);
+
+    /**
+     * Execute @p jobs and return one table row per job, in job order.
+     * Coordinate columns are the union of coordinate axes across jobs
+     * (absent coordinates render as ""); metric columns are "metric"
+     * (§6 harmonic-mean IPC / weighted speedup) plus any extras.
+     */
+    ResultsTable run(const std::vector<SweepJob> &jobs,
+                     const SweepOptions &opts = SweepOptions()) const;
+
+    /** Convenience: expand @p spec and run it. */
+    ResultsTable run(const SweepSpec &spec,
+                     const SweepOptions &opts = SweepOptions()) const;
+
+  private:
+    const ExperimentContext &ctx;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_SWEEP_SWEEP_RUNNER_HH

@@ -1,0 +1,125 @@
+#include "sweep/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace garibaldi
+{
+
+namespace
+{
+
+/**
+ * Hard ceiling on worker threads: far above any sane sweep width but
+ * low enough that a typo'd --jobs can't abort the process in
+ * std::thread creation.
+ */
+constexpr unsigned kMaxWorkers = 256;
+
+} // namespace
+
+unsigned
+resolveJobCount(unsigned requested)
+{
+    if (requested == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw != 0 ? hw : 1;
+    }
+    if (requested > kMaxWorkers) {
+        warn("clamping worker count ", requested, " to ", kMaxWorkers);
+        return kMaxWorkers;
+    }
+    return requested;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = resolveJobCount(threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        queue.push_back(std::move(task));
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    cvIdle.wait(lk, [this] {
+        return queueHead == queue.size() && inFlight == 0;
+    });
+    // Reclaim the drained queue so long-lived pools don't grow.
+    queue.clear();
+    queueHead = 0;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    while (true) {
+        cvTask.wait(lk, [this] {
+            return stopping || queueHead < queue.size();
+        });
+        if (queueHead >= queue.size()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue[queueHead]);
+        ++queueHead;
+        ++inFlight;
+        lk.unlock();
+        task();
+        lk.lock();
+        --inFlight;
+        if (queueHead == queue.size() && inFlight == 0)
+            cvIdle.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (count == 1 || threadCount() <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    unsigned lanes = threadCount();
+    if (static_cast<std::size_t>(lanes) > count)
+        lanes = static_cast<unsigned>(count);
+    for (unsigned t = 0; t < lanes; ++t) {
+        submit([&next, count, &body] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1))
+                body(i);
+        });
+    }
+    wait();
+}
+
+} // namespace garibaldi
