@@ -7,6 +7,15 @@
  * metric per point and the change relative to the monolithic
  * (banks=1, shift=0) LLC of the same core count.
  *
+ * With --contention the per-bank queuing model is enabled
+ * (llcBankServiceCycles/llcBankPorts, --svc/--ports): each point
+ * additionally reports the average bank-queuing delay per bank-array
+ * reservation (a demand access makes 1-3 reservations: tag probe,
+ * plus a data-array read on hits or write on fills), which falls as
+ * banks spread the same traffic over more tag/data slots — this is
+ * the knob-that-moves-the-metric mode; without the flag, output is
+ * byte-identical to the contention-free model.
+ *
  * This is the flagship sweep-engine bench: the full cores x banks x
  * shift x mix cross product expands up front and fans out over --jobs
  * worker threads; output is byte-identical for any --jobs value.
@@ -15,6 +24,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "common/logging.hh"
 #include "sim/metrics.hh"
 
 using namespace garibaldi;
@@ -26,11 +36,31 @@ main(int argc, char **argv)
                    "many-core server mixes");
     BenchArgs::addTo(args);
     args.addInt("mixes", 2, "random server mixes per core count");
+    args.addFlag("contention",
+                 "enable the per-bank queuing/contention model");
+    args.addInt("svc", 4,
+                "bank service cycles per tag/data slot (with "
+                "--contention)");
+    args.addInt("ports", 1, "ports per bank array (with --contention)");
     args.parse(argc, argv);
     BenchArgs b = BenchArgs::from(args);
     int num_mixes = static_cast<int>(args.getInt("mixes"));
     if (b.full)
         num_mixes = std::max(num_mixes, 4);
+    bool contention = args.getFlag("contention");
+
+    SystemConfig base = b.config();
+    if (contention) {
+        std::int64_t svc = args.getInt("svc");
+        std::int64_t ports = args.getInt("ports");
+        if (svc <= 0)
+            fatal("--contention needs --svc > 0 (0 disables the model "
+                  "and its queue stats)");
+        if (ports <= 0)
+            fatal("--contention needs --ports > 0");
+        base.llcBankServiceCycles = static_cast<Cycle>(svc);
+        base.llcBankPorts = static_cast<std::uint32_t>(ports);
+    }
 
     std::vector<std::uint32_t> core_counts = {16};
     if (b.full)
@@ -41,29 +71,58 @@ main(int argc, char **argv)
         shifts.push_back(2);
 
     printBenchHeader("Bank sensitivity",
-                     "weighted speedup across LLC banks x interleave "
-                     "shift, many-core server mixes",
-                     b.config(), b);
+                     contention
+                         ? "weighted speedup + avg bank queuing delay "
+                           "across LLC banks x interleave shift, "
+                           "many-core server mixes"
+                         : "weighted speedup across LLC banks x "
+                           "interleave shift, many-core server mixes",
+                     base, b);
 
     // Axes apply in declaration order, so the mix axis (drawn from
     // config.numCores) sees the core count chosen by the cores axis.
-    SweepSpec spec(b.config());
+    SweepSpec spec(base);
     spec.coreCounts(core_counts)
         .llcBanks(bank_counts)
         .llcBankInterleaveShift(shifts)
         .policies({{"mockingjay+g", PolicyKind::Mockingjay, true}})
         .randomServerMixes(b.seed + 500, num_mixes);
 
-    ExperimentContext ctx(b.config(), b.warmup, b.detailed);
+    ExperimentContext ctx(base, b.warmup, b.detailed);
     SweepRunner runner(ctx);
-    ResultsTable results = runner.run(spec, b.sweepOptions());
+    SweepOptions opts = b.sweepOptions();
+    if (contention) {
+        // Raw counters per job so table cells can aggregate across
+        // mixes as summed-cycles / summed-reservations (never a mean
+        // of per-mix rates — see safeRate in sim/metrics.hh), plus the
+        // per-job rate for CSV consumers.
+        opts.extraMetrics.push_back(
+            {"queue_cycles", [](const SimResult &r, const SweepJob &) {
+                 return r.mem.get("llc.queue_cycles");
+             }});
+        opts.extraMetrics.push_back(
+            {"bank_reservations",
+             [](const SimResult &r, const SweepJob &) {
+                 return r.mem.get("llc.bank_reservations");
+             }});
+        opts.extraMetrics.push_back(
+            {"queue_delay", [](const SimResult &r, const SweepJob &) {
+                 return safeRate(r.mem.get("llc.queue_cycles"),
+                                 r.mem.get("llc.bank_reservations"));
+             }});
+    }
+    ResultsTable results = runner.run(spec, opts);
 
-    TablePrinter t({"cores", "banks", "shift", "geomean_metric",
-                    "vs_monolithic"});
+    std::vector<std::string> cols = {"cores", "banks", "shift",
+                                     "geomean_metric", "vs_monolithic"};
+    if (contention)
+        cols.push_back("avg_queue_delay");
+    TablePrinter t(cols);
     for (std::uint32_t cores : core_counts) {
         for (std::uint32_t banks : bank_counts) {
             for (std::uint32_t shift : shifts) {
                 std::vector<double> vals, ratios;
+                double cycles_sum = 0, reservations_sum = 0;
                 for (int i = 0; i < num_mixes; ++i) {
                     CoordSelector sel{
                         {"cores", std::to_string(cores)},
@@ -79,22 +138,39 @@ main(int argc, char **argv)
                     vals.push_back(v);
                     ratios.push_back(v /
                                      results.value(mono, "metric"));
+                    if (contention) {
+                        cycles_sum += results.value(sel, "queue_cycles");
+                        reservations_sum +=
+                            results.value(sel, "bank_reservations");
+                    }
                 }
-                t.addRow({std::to_string(cores),
-                          std::to_string(banks),
-                          std::to_string(shift),
-                          TablePrinter::num(geometricMean(vals), 4),
-                          TablePrinter::pct(
-                              geometricMean(ratios) - 1, 2)});
+                std::vector<std::string> row = {
+                    std::to_string(cores),
+                    std::to_string(banks),
+                    std::to_string(shift),
+                    TablePrinter::num(geometricMean(vals), 4),
+                    TablePrinter::pct(geometricMean(ratios) - 1, 2)};
+                if (contention)
+                    row.push_back(TablePrinter::num(
+                        safeRate(cycles_sum, reservations_sum), 4));
+                t.addRow(row);
             }
         }
     }
     emitTable(t, b.csv);
-    std::printf("Expected shape: banking is performance-neutral on the "
-                "hit/miss path (same sets, interleaved), so "
-                "vs_monolithic stays ~0%% — the win is per-bank "
-                "parallelism headroom; shift moves conflict "
-                "distribution between banks.\n");
+    if (contention) {
+        std::printf("Expected shape: the same LLC traffic spreads over "
+                    "more tag/data slots as banks grow, so "
+                    "avg_queue_delay falls monotonically 1->2->4->8 "
+                    "and the queuing loss in vs_monolithic shrinks; "
+                    "shift moves conflict clustering between banks.\n");
+    } else {
+        std::printf("Expected shape: banking is performance-neutral on "
+                    "the hit/miss path (same sets, interleaved), so "
+                    "vs_monolithic stays ~0%% — the win is per-bank "
+                    "parallelism headroom; shift moves conflict "
+                    "distribution between banks.\n");
+    }
     if (b.csv) {
         // Machine-readable companion for plotting / CI artifacts.
         std::printf("%s", results.toCsv().c_str());

@@ -57,6 +57,40 @@ EOF
 echo "sweep wall-clock: ${t1}s serial vs ${tn}s with 8 workers on $jobs cpu(s) (speedup ${speedup}x)"
 cat "$build/BENCH_sweep.json"
 
+# Contention mode: the per-bank queuing model must keep the same
+# byte-identity guarantee across --jobs, and its headline curve (avg
+# LLC queuing delay falling as banks grow) is archived as a bench
+# artifact for trend tracking.
+echo "== bank contention (per-bank queuing model, --jobs 1 vs 8) =="
+# --svc/--ports passed explicitly so the artifact's config label stays
+# truthful even if the bench's defaults change.
+cont_args=(--warmup 10000 --instr 20000 --mixes 1 --contention --svc 4 --ports 1)
+"$build/bank_sensitivity" "${cont_args[@]}" --jobs 1 > "$build/bank_cont_j1.txt"
+"$build/bank_sensitivity" "${cont_args[@]}" --jobs 8 > "$build/bank_cont_j8.txt"
+if ! diff -q "$build/bank_cont_j1.txt" "$build/bank_cont_j8.txt" > /dev/null; then
+  echo "FAIL: bank_sensitivity --contention differs between --jobs 1 and 8"
+  diff "$build/bank_cont_j1.txt" "$build/bank_cont_j8.txt" | head -20
+  exit 1
+fi
+echo "bank_sensitivity --contention: --jobs 1 vs --jobs 8 byte-identical"
+
+# Table columns: cores banks shift geomean_metric vs_monolithic
+# avg_queue_delay; keep the cores=16 shift=0 curve.
+banks_list=$(awk '$1 == 16 && $3 == 0 {printf "%s%s", sep, $2; sep=", "}' \
+             "$build/bank_cont_j1.txt")
+delay_list=$(awk '$1 == 16 && $3 == 0 {printf "%s%s", sep, $6; sep=", "}' \
+             "$build/bank_cont_j1.txt")
+cat > "$build/BENCH_bank_contention.json" <<EOF
+{
+  "bench": "bank_sensitivity --contention",
+  "config": "16 cores, svc=4, ports=1, shift=0",
+  "metric": "avg queuing delay per bank-array reservation (cycles)",
+  "banks": [$banks_list],
+  "avg_queue_delay_cycles": [$delay_list]
+}
+EOF
+cat "$build/BENCH_bank_contention.json"
+
 echo "== hot-path throughput (accesses/sec; track across PRs) =="
 "$build/micro_pipeline" --quick | tee "$build/micro_pipeline.txt"
 rate=$(awk '$1 == 8 && $2 == 1 {print $3}' "$build/micro_pipeline.txt")

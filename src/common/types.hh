@@ -38,6 +38,17 @@ constexpr unsigned kPageShift = 12;
 /** Number of cache lines in one page. */
 constexpr Addr kLinesPerPage = kPageBytes / kLineBytes;
 
+/**
+ * Tolerated out-of-order arrival window for shared-resource occupancy
+ * models (DRAM channels, LLC bank ports).  The simulator interleaves
+ * cores with bounded time skew, so a request arriving more than this
+ * many cycles behind a structure's booked future is served from the
+ * capacity the structure had back then ("backfill") instead of
+ * queueing behind reservations made after its arrival.  One constant
+ * for every model keeps their skew tolerance from drifting apart.
+ */
+constexpr Cycle kBackfillSlack = 64;
+
 /** Number of physical address bits modeled (16 TB, Table 2). */
 constexpr unsigned kPhysAddrBits = 44;
 

@@ -55,6 +55,18 @@ struct CacheParams
      */
     std::uint32_t indexSkipShift = 0;
     std::uint32_t indexSkipBits = 0;
+
+    /**
+     * Bank contention model (LLC banks): when @c bankServiceCycles is
+     * non-zero, every tag probe occupies one of @c bankPorts tag-array
+     * slots for that many cycles, and every hit read or fill write
+     * occupies a data-array slot likewise.  A request finding all slots
+     * busy queues until the earliest one frees and reports the wait.
+     * Zero (the default) disables the model entirely: no occupancy is
+     * tracked and timing is bit-identical to the uncontended cache.
+     */
+    Cycle bankServiceCycles = 0;
+    std::uint32_t bankPorts = 1;
 };
 
 /** Aggregate counters of one cache. */
@@ -75,6 +87,22 @@ struct CacheStats
     std::uint64_t qbsQueries = 0;
     std::uint64_t qbsProtections = 0;
     std::uint64_t partitionInstrInserts = 0;
+
+    // Bank-contention counters (all zero when the model is off).
+    std::uint64_t bankReservations = 0; //!< tag/data slot grants
+    std::uint64_t bankBackfills = 0;    //!< out-of-order grants in past capacity
+    std::uint64_t queuedAccesses = 0;   //!< grants that had to wait
+    std::uint64_t tagQueueCycles = 0;   //!< cycles queued for a tag slot
+    std::uint64_t dataQueueCycles = 0;  //!< cycles queued for a data slot
+    std::uint64_t mshrStallCycles = 0;  //!< per-bank MSHR-full penalties
+    /**
+     * Set when the owning cache models bank contention; accumulate()
+     * ORs it so a banked set reports the queue counters iff its banks
+     * track them.  toStatSet() keys the queue stats on this flag, which
+     * keeps the exported stat surface (and thus every default bench
+     * output) identical to the pre-contention model when off.
+     */
+    bool contentionModeled = false;
 
     double hitRate() const
     {
@@ -144,6 +172,27 @@ class Cache
     /** True when all MSHRs are busy at @p now. */
     bool mshrsFull(Cycle now);
 
+    // ---- bank contention model (bankServiceCycles > 0) ---------------
+    /** The contention model is active on this cache. */
+    bool contentionEnabled() const { return params.bankServiceCycles > 0; }
+    /**
+     * Occupy a tag-array slot for one probe arriving at @p now.
+     * @return cycles queued behind earlier occupants (0 when a slot is
+     * free or the model is off).
+     */
+    Cycle occupyTagPort(Cycle now);
+    /**
+     * Occupy a data-array slot (hit read / fill write) starting at
+     * @p at on behalf of a transaction issued at @p issued (the
+     * backfill ordering clock).  Callers book bandwidth in issue
+     * order — @p at trails @p issued by at most a tag-grant wait;
+     * booking at a far-future completion instant would turn the
+     * scalar busy horizon into a phantom busy window.
+     */
+    Cycle occupyDataPort(Cycle at, Cycle issued);
+    /** Record @p penalty cycles of MSHR-full stall against this bank. */
+    void noteMshrStall(Cycle penalty) { stat.mshrStallCycles += penalty; }
+
     /** Attach the Garibaldi module (LLC only). */
     void setCompanion(LlcCompanion *companion);
 
@@ -167,6 +216,8 @@ class Cache
     std::uint32_t setOf(Addr line_addr) const;
 
   private:
+    Cycle reserveSlot(std::vector<Cycle> &busy_until, Cycle at,
+                      Cycle issued, std::uint64_t &queue_cycles);
     CacheLine *findInSet(std::uint32_t set, Addr tag);
     CacheLine *findLine(Addr line_addr);
     const CacheLine *findLine(Addr line_addr) const;
@@ -185,6 +236,14 @@ class Cache
     Tick useTick = 0;
     PendingTable pending;
     FlatLineSet oracleSeen;
+    /** Per-slot busy-until cycles; sized at construction (empty when
+     *  the contention model is off) so the demand path never allocates. */
+    std::vector<Cycle> tagBusyUntil;
+    std::vector<Cycle> dataBusyUntil;
+    /** Newest *issue time* seen by reserveSlot (not reservation-start
+     *  time, which fills schedule in the future); requests issued more
+     *  than kBackfillSlack behind it backfill past capacity. */
+    Cycle lastArrival = 0;
 };
 
 } // namespace garibaldi

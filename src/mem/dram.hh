@@ -48,9 +48,6 @@ class Dram
     std::uint64_t writes() const { return nWrites; }
 
   private:
-    /** Tolerated out-of-order arrival window (see access()). */
-    static constexpr Cycle kBackfillSlack = 64;
-
     std::uint32_t channelOf(Addr line_addr) const;
 
     DramParams params;

@@ -43,6 +43,8 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params_)
     }
     CacheParams pllc = params.llc;
     pllc.name = "llc";
+    pllc.bankServiceCycles = params.llcBankServiceCycles;
+    pllc.bankPorts = params.llcBankPorts;
     llcSet = std::make_unique<LlcBankSet>(pllc, params.llcBanks,
                                           params.llcBankInterleaveShift);
     dramModel = std::make_unique<Dram>(params.dram);
@@ -163,9 +165,43 @@ MemoryHierarchy::stageL2(Transaction &txn)
 void
 MemoryHierarchy::stageLlc(Transaction &txn)
 {
-    bool hit = llcSet->access(txn.req);
+    Cache &bank = llcSet->bankFor(txn.lineAddr);
+    Cycle port_wait = 0;
+    if (bank.contentionEnabled()) {
+        // Bank port arbitration: the probe occupies a tag slot of the
+        // owning bank; a transaction arriving while every slot is busy
+        // queues, and the wait lands in its load-to-use latency.
+        port_wait = bank.occupyTagPort(txn.issued);
+    }
+
+    bool hit = bank.access(txn.req);
     txn.llcAccessed = true;
     txn.llcHit = hit;
+
+    Cycle fill_ready = 0;
+    if (hit) {
+        fill_ready = bank.pendingReady(txn.lineAddr, txn.issued);
+        if (bank.contentionEnabled()) {
+            // The hit consumes one data-array slot, starting once its
+            // tag grant lands.  Like the DRAM channel model, bandwidth
+            // is booked in issue order — never at a future completion
+            // instant, which would make the scalar busy horizon read
+            // as busy across the whole gap and charge phantom waits to
+            // intervening accesses.
+            port_wait += bank.occupyDataPort(txn.issued + port_wait,
+                                             txn.issued);
+        }
+    } else if (bank.contentionEnabled() && !txn.req.isPrefetch &&
+               bank.mshrsFull(txn.issued)) {
+        // Only misses allocate an MSHR, and pressure is per bank — the
+        // owning bank's book holds a fraction of the whole-LLC budget,
+        // so the check must not go through a fixed (monolithic) cache.
+        txn.mshrCycles += params.mshrFullPenalty;
+        bank.noteMshrStall(params.mshrFullPenalty);
+    }
+    // Charged before the listener fan-out so monitors observe the
+    // full queue delay.
+    txn.queueCycles += port_wait;
 
     if (!txn.req.isPrefetch) {
         for (LlcEventListener *listener : llcListeners)
@@ -175,10 +211,11 @@ MemoryHierarchy::stageLlc(Transaction &txn)
     }
 
     if (hit) {
-        Cycle ready = llcSet->pendingReady(txn.lineAddr, txn.issued);
         txn.llcCycles = llcSet->latency();
-        if (ready > txn.issued + txn.llcCycles)
-            txn.llcCycles = ready - txn.issued;
+        // Port waits overlap an in-flight fill's wait; charge
+        // whichever dominates, not their sum.
+        if (fill_ready > txn.issued + txn.llcCycles + port_wait)
+            txn.llcCycles = fill_ready - txn.issued - port_wait;
         txn.level = HitLevel::LLC;
         return;
     }
@@ -214,6 +251,15 @@ MemoryHierarchy::stageDramFill(Transaction &txn)
     Eviction ev = llcSet->insert(txn.req, false, txn.critical);
     if (ev.valid && ev.dirty)
         dramModel->access(ev.lineAddr, true, txn.issued);
+    if (llcSet->contentionEnabled()) {
+        // The fill write consumes one data-array slot.  Bandwidth is
+        // booked in issue order (the DRAM model posts writebacks at
+        // issue time the same way): booking at the far-future arrival
+        // instant would turn the scalar busy horizon into a phantom
+        // busy window over the whole DRAM latency.
+        txn.queueCycles += llcSet->bankFor(txn.lineAddr)
+                               .occupyDataPort(txn.issued, txn.issued);
+    }
     if (!(llcSet->oracleFiltersInstr() && txn.req.isInstr))
         llcSet->addPending(txn.lineAddr, txn.issued + txn.latency());
     txn.llcCycles += llcSet->drainQbsCycles(txn.lineAddr);
@@ -228,8 +274,10 @@ MemoryHierarchy::stageL1Fill(Transaction &txn, Cache &l1)
         writebackToL2(ev, txn.req.core, txn.issued);
     l1.addPending(txn.lineAddr, txn.issued + txn.latency());
 
+    // Accumulate: an LLC-bank MSHR stall charged earlier in the
+    // pipeline must not be overwritten by the L1's own penalty.
     if (!txn.req.isPrefetch && l1.mshrsFull(txn.issued))
-        txn.mshrCycles = params.mshrFullPenalty;
+        txn.mshrCycles += params.mshrFullPenalty;
 }
 
 void
@@ -301,12 +349,22 @@ MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
     pf.core = core;
     pf.paddr = line_addr;
     pf.isPrefetch = true;
+    // The probe is a real tag lookup: it competes for the bank's tag
+    // slots even though nothing waits on a prefetch.
+    if (llcSet->contentionEnabled())
+        llcSet->bankFor(lineAlign(line_addr)).occupyTagPort(now);
     if (llcSet->access(pf))
         return;
     Cycle dram_lat = dramModel->access(lineAlign(line_addr), false, now);
     Eviction ev = llcSet->insert(pf);
     if (ev.valid && ev.dirty)
         dramModel->access(ev.lineAddr, true, now);
+    if (llcSet->contentionEnabled()) {
+        // Prefetch fills consume data-array bandwidth like demand
+        // fills (booked in issue order); nobody waits on them, so the
+        // delay charges no transaction.
+        llcSet->bankFor(lineAlign(line_addr)).occupyDataPort(now, now);
+    }
     llcSet->addPending(lineAlign(line_addr),
                        now + llcSet->latency() + dram_lat);
 }
@@ -315,6 +373,15 @@ void
 MemoryHierarchy::writebackToLlc(const Eviction &ev, CoreId core,
                                 Cycle now)
 {
+    // Writebacks arbitrate for the owning bank's tag array like any
+    // other probe and write the data array whether they merge into a
+    // resident line or allocate below; the wait delays no demand
+    // transaction.
+    if (llcSet->contentionEnabled()) {
+        Cache &bank = llcSet->bankFor(lineAlign(ev.lineAddr));
+        bank.occupyTagPort(now);
+        bank.occupyDataPort(now, now);
+    }
     if (llcSet->contains(ev.lineAddr)) {
         llcSet->setDirty(ev.lineAddr);
         return;

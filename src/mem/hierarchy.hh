@@ -56,6 +56,14 @@ struct HierarchyParams
     std::uint32_t llcBanks = 1;
     /** Line-number bit where LLC bank interleaving starts. */
     std::uint32_t llcBankInterleaveShift = 0;
+    /**
+     * Per-bank contention model: tag/data slot occupancy per access in
+     * cycles (0 = off; timing identical to the uncontended hierarchy)
+     * and ports per bank array.  When on, transactions arriving at a
+     * busy bank queue, and LLC MSHR pressure is charged per bank.
+     */
+    Cycle llcBankServiceCycles = 0;
+    std::uint32_t llcBankPorts = 1;
     /** Tracked lines in the bounded instruction-criticality table. */
     std::uint32_t instrCritEntries = 32768;
 };

@@ -26,8 +26,16 @@ LlcBankSet::LlcBankSet(const CacheParams &llc, std::uint32_t banks,
         if (banks > 1)
             p.name = llc.name + ".b" + std::to_string(b);
         p.sizeBytes = llc.sizeBytes / banks;
-        if (banks > 1)
-            p.mshrs = std::max<std::uint32_t>(1, llc.mshrs / banks);
+        if (banks > 1) {
+            // Distribute the whole-LLC MSHR budget: base share per bank
+            // plus one of the remainder each to the first mshrs%banks
+            // banks, so per-bank capacities sum to the configured total
+            // (10 MSHRs over 4 banks = 3+3+2+2, not 4x2).  Every bank
+            // keeps at least one MSHR even when banks > mshrs.
+            std::uint32_t share = llc.mshrs / banks +
+                                  (b < llc.mshrs % banks ? 1 : 0);
+            p.mshrs = std::max<std::uint32_t>(1, share);
+        }
         p.indexSkipShift = interleave_shift;
         p.indexSkipBits = bank_bits;
         banks_.push_back(std::make_unique<Cache>(p));

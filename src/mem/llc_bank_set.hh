@@ -82,6 +82,22 @@ class LlcBankSet
     {
         return bankFor(line_addr).drainQbsCycles();
     }
+    /**
+     * MSHR pressure of the bank owning @p line_addr.  Always route
+     * full-MSHR checks through here: the per-bank books are a fraction
+     * of the whole-LLC budget, so consulting any single fixed bank
+     * (e.g. bank 0) under- or over-reports pressure when banks > 1.
+     */
+    bool mshrsFull(Addr line_addr, Cycle now)
+    {
+        return bankFor(line_addr).mshrsFull(now);
+    }
+
+    /** The per-bank contention model is active (uniform over banks). */
+    bool contentionEnabled() const
+    {
+        return banks_[0]->contentionEnabled();
+    }
 
     /** Attach the Garibaldi module to every bank. */
     void setCompanion(LlcCompanion *companion);

@@ -40,6 +40,7 @@ struct Transaction
     Cycle l1Cycles = 0;         //!< L1 hit / fill-wait leg
     Cycle l2Cycles = 0;         //!< L2 hit / traversal leg
     Cycle llcCycles = 0;        //!< LLC hit / traversal leg (incl. QBS)
+    Cycle queueCycles = 0;      //!< LLC bank-port queuing delay
     Cycle dramCycles = 0;       //!< DRAM read leg
     Cycle coherenceCycles = 0;  //!< directory upgrade/fill penalties
     Cycle mshrCycles = 0;       //!< MSHR-pressure penalty
@@ -62,8 +63,8 @@ struct Transaction
     Cycle
     latency() const
     {
-        return l1Cycles + l2Cycles + llcCycles + dramCycles +
-               coherenceCycles + mshrCycles;
+        return l1Cycles + l2Cycles + llcCycles + queueCycles +
+               dramCycles + coherenceCycles + mshrCycles;
     }
 
     /** Collapse into the outcome struct the core model consumes. */

@@ -50,4 +50,10 @@ weightedSpeedup(const std::vector<double> &shared_ipc,
     return sum;
 }
 
+double
+safeRate(double numerator, double denominator)
+{
+    return denominator > 0 ? numerator / denominator : 0.0;
+}
+
 } // namespace garibaldi

@@ -26,6 +26,15 @@ double geometricMean(const std::vector<double> &values);
 double weightedSpeedup(const std::vector<double> &shared_ipc,
                        const std::vector<double> &single_ipc);
 
+/**
+ * @p numerator / @p denominator, 0 when the denominator is not
+ * positive.  Derived rates (hit rate, average queue delay, ...) must be
+ * computed with this from *summed* raw counters — never by averaging or
+ * subtracting per-bank / per-window rates, which weights every bank or
+ * window equally regardless of its traffic.
+ */
+double safeRate(double numerator, double denominator);
+
 } // namespace garibaldi
 
 #endif // GARIBALDI_SIM_METRICS_HH

@@ -1,8 +1,10 @@
 #include "sim/simulator.hh"
 
 #include <queue>
+#include <string>
 
 #include "common/logging.hh"
+#include "sim/metrics.hh"
 
 namespace garibaldi
 {
@@ -136,8 +138,12 @@ Simulator::run(std::uint64_t warmup_per_core,
         res.cores.push_back(cr);
     }
 
-    // Counter stats subtract cleanly; derived rates are recomputed by
-    // consumers from the subtracted counters.
+    // Counter stats subtract cleanly; derived rates do NOT (a
+    // difference of ratios is not the ratio of differences), so every
+    // rate exported by the hierarchy is recomputed from the subtracted
+    // raw counters below.  res.garibaldi still carries windowed
+    // differences of the module's own ratio/gauge stats (see ROADMAP);
+    // consumers of those must derive rates from raw counters.
     auto subtract = [](const StatSet &after, const StatSet &before) {
         StatSet out;
         for (const auto &[name, value] : after.entries()) {
@@ -146,8 +152,54 @@ Simulator::run(std::uint64_t warmup_per_core,
         }
         return out;
     };
+    auto recomputeRates = [](StatSet &s) {
+        // Collect names first: StatSet::add overwrites in place for
+        // existing keys, but iterating a container while mutating it is
+        // a trap worth avoiding outright.
+        std::vector<std::string> names;
+        names.reserve(s.entries().size());
+        for (const auto &[name, value] : s.entries())
+            names.push_back(name);
+        auto ratio_of = [&s](const std::string &prefix, const char *num,
+                             const char *den) {
+            return safeRate(s.get(prefix + num), s.get(prefix + den));
+        };
+        const std::string kHitRate = "hit_rate";
+        const std::string kInstrMissRate = "instr_miss_rate";
+        const std::string kAvgQueueDelay = "avg_queue_delay";
+        for (const auto &name : names) {
+            auto ends_with = [&name](const std::string &suffix) {
+                return name.size() >= suffix.size() &&
+                       name.compare(name.size() - suffix.size(),
+                                    suffix.size(), suffix) == 0;
+            };
+            if (ends_with(kInstrMissRate)) {
+                std::string prefix =
+                    name.substr(0, name.size() - kInstrMissRate.size());
+                s.add(name, ratio_of(prefix, "instr_misses",
+                                     "instr_accesses"));
+            } else if (ends_with(kHitRate)) {
+                std::string prefix =
+                    name.substr(0, name.size() - kHitRate.size());
+                s.add(name, ratio_of(prefix, "hits", "accesses"));
+            } else if (ends_with(kAvgQueueDelay)) {
+                // DRAM exports a cumulative mean over *granted*
+                // reservations; the window's mean is queued cycles
+                // over the window's accesses minus its backfills
+                // (which by construction contribute zero queue).
+                std::string prefix =
+                    name.substr(0, name.size() - kAvgQueueDelay.size());
+                double granted = s.get(prefix + "reads") +
+                                 s.get(prefix + "writes") -
+                                 s.get(prefix + "backfills");
+                s.add(name, safeRate(s.get(prefix + "queued_cycles"),
+                                     granted));
+            }
+        }
+    };
 
     res.mem = subtract(sys.hierarchy().stats(), mem_before);
+    recomputeRates(res.mem);
     if (sys.garibaldi())
         res.garibaldi = subtract(sys.garibaldi()->stats(), gari_before);
     res.tlb = subtract(sum_tlb(), tlb_before);

@@ -44,6 +44,8 @@ SystemConfig::hierarchyParams() const
     h.llc.instrOracle = llcInstrOracle;
     h.llcBanks = llcBanks;
     h.llcBankInterleaveShift = llcBankInterleaveShift;
+    h.llcBankServiceCycles = llcBankServiceCycles;
+    h.llcBankPorts = llcBankPorts;
 
     h.dram = dram;
     h.l1dNextLinePrefetcher = l1dNextLinePrefetcher;
@@ -61,6 +63,9 @@ SystemConfig::summary() const
        << "-way " << policyKindName(llcPolicy);
     if (llcBanks > 1)
         os << " x" << llcBanks << " banks";
+    if (llcBankServiceCycles > 0)
+        os << " bank-q(svc=" << llcBankServiceCycles << ",ports="
+           << llcBankPorts << ")";
     if (garibaldiEnabled)
         os << "+garibaldi(k=" << garibaldi.k << ")";
     if (llcInstrPartitionWays)

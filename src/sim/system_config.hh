@@ -69,6 +69,17 @@ struct SystemConfig
     std::uint32_t llcBanks = 1;
     /** Line-number bit where bank interleaving starts (0 = per-line). */
     std::uint32_t llcBankInterleaveShift = 0;
+    /**
+     * Per-bank queuing/contention model.  When llcBankServiceCycles is
+     * non-zero each LLC bank access occupies one of llcBankPorts
+     * tag-array slots (hits and fills additionally a data-array slot)
+     * for that many cycles; accesses finding their bank busy queue and
+     * the wait adds to load-to-use latency, and LLC MSHR pressure is
+     * charged against the owning bank.  Zero (default) keeps every
+     * output bit-identical to the contention-free model.
+     */
+    Cycle llcBankServiceCycles = 0;
+    std::uint32_t llcBankPorts = 1;
 
     // Garibaldi attachment.
     bool garibaldiEnabled = false;

@@ -87,6 +87,28 @@ SweepSpec::llcBankInterleaveShift(
 }
 
 SweepSpec &
+SweepSpec::llcBankServiceCycles(const std::vector<Cycle> &cycles)
+{
+    SweepAxis ax{"svc", {}};
+    for (Cycle c : cycles)
+        ax.values.push_back({std::to_string(c), [c](SweepPoint &p) {
+                                 p.config.llcBankServiceCycles = c;
+                             }});
+    return axis(std::move(ax));
+}
+
+SweepSpec &
+SweepSpec::llcBankPorts(const std::vector<std::uint32_t> &ports)
+{
+    SweepAxis ax{"ports", {}};
+    for (std::uint32_t n : ports)
+        ax.values.push_back({std::to_string(n), [n](SweepPoint &p) {
+                                 p.config.llcBankPorts = n;
+                             }});
+    return axis(std::move(ax));
+}
+
+SweepSpec &
 SweepSpec::llcSizeKb(const std::vector<std::uint64_t> &kb_per_core)
 {
     SweepAxis ax{"llc_kb", {}};

@@ -93,6 +93,10 @@ class SweepSpec
     SweepSpec &llcBanks(const std::vector<std::uint32_t> &counts);
     SweepSpec &
     llcBankInterleaveShift(const std::vector<std::uint32_t> &shifts);
+    /** Per-bank contention service cycles ("svc"; 0 = model off). */
+    SweepSpec &llcBankServiceCycles(const std::vector<Cycle> &cycles);
+    /** Ports per bank array ("ports"). */
+    SweepSpec &llcBankPorts(const std::vector<std::uint32_t> &ports);
     /** LLC capacity per core, in KB. */
     SweepSpec &llcSizeKb(const std::vector<std::uint64_t> &kb_per_core);
     SweepSpec &llcAssociativity(const std::vector<std::uint32_t> &ways);

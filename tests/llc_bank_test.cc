@@ -12,6 +12,9 @@
 #include "mem/hierarchy.hh"
 #include "mem/llc_bank_set.hh"
 #include "sim/experiment.hh"
+#include "sim/monitors.hh"
+#include "sweep/sweep_runner.hh"
+#include "sweep/sweep_spec.hh"
 #include "workloads/catalog.hh"
 
 namespace garibaldi
@@ -232,6 +235,359 @@ TEST(HierarchyBanks, GaribaldiComposesWithBanks)
     EXPECT_GT(r.garibaldi.get("paired_updates"), 0.0);
     EXPECT_GT(r.mem.get("llc.accesses"), 0.0);
     EXPECT_GT(r.ipcHarmonicMean(), 0.0);
+}
+
+TEST(LlcBankSet, MshrRemainderSplitSumsToTotal)
+{
+    // 10 MSHRs over 4 banks must keep total capacity 10 (3+3+2+2),
+    // not shrink to 4 x 2 = 8 by flooring every share.
+    CacheParams p = llcParams();
+    p.mshrs = 10;
+    LlcBankSet banks(p, 4, 0);
+    std::uint32_t sum = 0, lo = ~0u, hi = 0;
+    for (std::uint32_t b = 0; b < banks.numBanks(); ++b) {
+        std::uint32_t m = banks.bank(b).config().mshrs;
+        sum += m;
+        lo = std::min(lo, m);
+        hi = std::max(hi, m);
+    }
+    EXPECT_EQ(sum, 10u);
+    EXPECT_EQ(lo, 2u);
+    EXPECT_EQ(hi, 3u);
+
+    // Exactly divisible budgets split evenly.
+    p.mshrs = 8;
+    LlcBankSet even(p, 4, 0);
+    for (std::uint32_t b = 0; b < even.numBanks(); ++b)
+        EXPECT_EQ(even.bank(b).config().mshrs, 2u);
+
+    // More banks than MSHRs: every bank keeps at least one.
+    p.mshrs = 2;
+    LlcBankSet sparse(p, 4, 0);
+    for (std::uint32_t b = 0; b < sparse.numBanks(); ++b)
+        EXPECT_GE(sparse.bank(b).config().mshrs, 1u);
+}
+
+TEST(LlcBankSet, MshrPressureIsPerBank)
+{
+    // Full-MSHR checks must consult the owning bank's book: per-bank
+    // capacities are a fraction of the whole-LLC budget, so a fixed
+    // (monolithic) check under- or over-reports pressure.
+    CacheParams p = llcParams();
+    p.mshrs = 8; // 2 per bank
+    LlcBankSet banks(p, 4, 0);
+    // Two in-flight fills on bank 0 (lines 0 and 4 with 4 banks).
+    banks.addPending(Addr{0} * kLineBytes, 1 << 20);
+    banks.addPending(Addr{4} * kLineBytes, 1 << 20);
+    EXPECT_TRUE(banks.mshrsFull(Addr{0} * kLineBytes, 0));
+    EXPECT_TRUE(banks.mshrsFull(Addr{8} * kLineBytes, 0));
+    // Bank 1 is idle: no pressure there.
+    EXPECT_FALSE(banks.mshrsFull(Addr{1} * kLineBytes, 0));
+    // Expired fills are pruned before declaring pressure.
+    EXPECT_FALSE(banks.mshrsFull(Addr{0} * kLineBytes, (1 << 20) + 1));
+}
+
+TEST(CacheContention, PortModelQueuesAndDrains)
+{
+    CacheParams p = llcParams();
+    p.bankServiceCycles = 10;
+    p.bankPorts = 1;
+    Cache bank(p);
+    ASSERT_TRUE(bank.contentionEnabled());
+    // First probe at cycle 0 starts immediately and holds the tag
+    // slot until cycle 10; a second same-cycle probe queues.
+    EXPECT_EQ(bank.occupyTagPort(0), 0u);
+    EXPECT_EQ(bank.occupyTagPort(0), 10u);
+    // After the backlog drains the slot is free again.
+    EXPECT_EQ(bank.occupyTagPort(25), 0u);
+    // Tag and data arrays are independent resources.
+    EXPECT_EQ(bank.occupyDataPort(25, 25), 0u);
+    const CacheStats &s = bank.stats();
+    EXPECT_TRUE(s.contentionModeled);
+    EXPECT_EQ(s.bankReservations, 4u);
+    EXPECT_EQ(s.queuedAccesses, 1u);
+    EXPECT_EQ(s.tagQueueCycles, 10u);
+    EXPECT_EQ(s.dataQueueCycles, 0u);
+}
+
+TEST(CacheContention, ExtraPortsAbsorbConflicts)
+{
+    CacheParams p = llcParams();
+    p.bankServiceCycles = 10;
+    p.bankPorts = 2;
+    Cache bank(p);
+    // Two same-cycle probes take the two ports; the third queues
+    // behind the earliest-freeing one.
+    EXPECT_EQ(bank.occupyTagPort(0), 0u);
+    EXPECT_EQ(bank.occupyTagPort(0), 0u);
+    EXPECT_EQ(bank.occupyTagPort(0), 10u);
+}
+
+TEST(CacheContention, OutOfOrderArrivalsBackfillPastCapacity)
+{
+    CacheParams p = llcParams();
+    p.bankServiceCycles = 10;
+    Cache bank(p);
+    EXPECT_EQ(bank.occupyTagPort(5000), 0u); // slot busy until 5010
+    // A request from far in the "past" (cores interleave with bounded
+    // skew) slots into capacity the array had back then instead of
+    // queueing behind a future reservation.
+    EXPECT_EQ(bank.occupyTagPort(4900), 0u);
+    EXPECT_EQ(bank.stats().bankBackfills, 1u);
+    // Skew within the slack still queues normally (and the backfill
+    // did not advance the slot's busy window).
+    EXPECT_EQ(bank.occupyTagPort(5005), 5u);
+    EXPECT_EQ(bank.stats().queuedAccesses, 1u);
+}
+
+TEST(CacheContention, FutureFillBookingDoesNotPoisonBackfill)
+{
+    CacheParams p = llcParams();
+    p.bankServiceCycles = 8;
+    Cache bank(p);
+    EXPECT_EQ(bank.occupyTagPort(0), 0u);
+    // A reservation whose start time lies in the future (at > issued)
+    // must not raise the issue-order high-water mark, or every later
+    // same-cycle probe would "backfill" for free and a saturated bank
+    // would report no queuing at all.
+    bank.occupyDataPort(/*at=*/300, /*issued=*/0);
+    EXPECT_EQ(bank.occupyTagPort(0), 8u); // genuine same-cycle queue
+    EXPECT_EQ(bank.stats().bankBackfills, 0u);
+}
+
+TEST(CacheContention, DisabledModelChargesNothing)
+{
+    Cache bank(llcParams()); // bankServiceCycles = 0
+    EXPECT_FALSE(bank.contentionEnabled());
+    EXPECT_EQ(bank.occupyTagPort(0), 0u);
+    EXPECT_EQ(bank.occupyTagPort(0), 0u);
+    EXPECT_EQ(bank.occupyDataPort(0, 0), 0u);
+    const CacheStats &s = bank.stats();
+    EXPECT_FALSE(s.contentionModeled);
+    EXPECT_EQ(s.bankReservations, 0u);
+    EXPECT_EQ(s.queuedAccesses, 0u);
+}
+
+HierarchyParams
+contentionHier(std::uint32_t llc_banks, Cycle svc)
+{
+    HierarchyParams h;
+    h.numCores = 2;
+    h.coresPerL2 = 2;
+    h.l1i.sizeBytes = 4 * 1024;
+    h.l1i.assoc = 4;
+    h.l1d = h.l1i;
+    h.l2.sizeBytes = 32 * 1024;
+    h.l2.assoc = 8;
+    h.llc.sizeBytes = 128 * 1024;
+    h.llc.assoc = 8;
+    h.llcBanks = llc_banks;
+    h.llcBankServiceCycles = svc;
+    h.l1dNextLinePrefetcher = false;
+    h.l2GhbPrefetcher = false;
+    h.l1iIspyPrefetcher = false;
+    return h;
+}
+
+/** Latency of a second same-cycle access after a first one. */
+Cycle
+secondAccessLatency(Cycle svc, Addr first, Addr second)
+{
+    MemoryHierarchy mem(contentionHier(2, svc));
+    MemAccess a = load(first);
+    a.core = 0;
+    mem.access(a, 0);
+    MemAccess b = load(second);
+    b.core = 1;
+    return mem.access(b, 0).latency;
+}
+
+TEST(HierarchyContention, SameBankConflictQueuesDifferentBankDoesNot)
+{
+    // With 2 banks and shift 0, lines 0 and 2 share bank 0 while line
+    // 1 lives in bank 1.
+    const Addr line0 = 0 * kLineBytes;
+    const Addr line1 = 1 * kLineBytes;
+    const Addr line2 = 2 * kLineBytes;
+    // Same bank: the second access queues behind the first's tag slot.
+    EXPECT_GT(secondAccessLatency(20, line0, line2),
+              secondAccessLatency(0, line0, line2));
+    // Different banks: contention on adds nothing.
+    EXPECT_EQ(secondAccessLatency(20, line0, line1),
+              secondAccessLatency(0, line0, line1));
+}
+
+TEST(HierarchyContention, MshrStallsChargedToOwningBank)
+{
+    HierarchyParams h = contentionHier(4, 1);
+    h.llc.mshrs = 4; // one MSHR per bank
+    MemoryHierarchy mem(h);
+    // Hammer distinct bank-0 lines (stride 4 with 4 banks) in one
+    // cycle: the single bank-0 MSHR saturates after the first miss.
+    for (Addr line = 0; line < 32; line += 4) {
+        MemAccess a = load(line * kLineBytes);
+        mem.access(a, 0);
+    }
+    StatSet s = mem.stats();
+    EXPECT_GT(s.get("llc.bank0.mshr_stall_cycles"), 0.0);
+    for (int b = 1; b < 4; ++b)
+        EXPECT_EQ(s.get("llc.bank" + std::to_string(b) +
+                        ".mshr_stall_cycles"),
+                  0.0);
+    EXPECT_EQ(s.get("llc.mshr_stall_cycles"),
+              s.get("llc.bank0.mshr_stall_cycles"));
+}
+
+TEST(HierarchyContention, QueueStatsOnlyExportedWhenModeled)
+{
+    MemoryHierarchy off(contentionHier(2, 0));
+    off.access(load(0x1000), 0);
+    EXPECT_FALSE(off.stats().has("llc.queue_cycles"));
+
+    MemoryHierarchy on(contentionHier(2, 4));
+    on.access(load(0x1000), 0);
+    StatSet s = on.stats();
+    EXPECT_TRUE(s.has("llc.queue_cycles"));
+    EXPECT_TRUE(s.has("llc.bank_reservations"));
+    EXPECT_GT(s.get("llc.bank_reservations"), 0.0);
+}
+
+TEST(HierarchyContention, ContentionOffMatchesBanks1Latency)
+{
+    // The contention-off banked LLC must be timing-neutral: under LRU
+    // the bank splice partitions the monolithic sets exactly, so a
+    // 4-bank run reports the same hits, misses and IPC as banks=1.
+    SystemConfig cfg = defaultConfig(2);
+    cfg.coresPerL2 = 2;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.llcBytesPerCore = 192 * 1024;
+    Mix m = homogeneousMix("tpcc", 2);
+
+    cfg.llcBanks = 1;
+    ExperimentContext mono_ctx(cfg, 3000, 10000);
+    SimResult mono = mono_ctx.runPolicy(PolicyKind::LRU, false, m);
+
+    cfg.llcBanks = 4;
+    cfg.llcBankServiceCycles = 0; // model off
+    ExperimentContext banked_ctx(cfg, 3000, 10000);
+    SimResult banked = banked_ctx.runPolicy(PolicyKind::LRU, false, m);
+
+    EXPECT_EQ(mono.mem.get("llc.accesses"),
+              banked.mem.get("llc.accesses"));
+    EXPECT_EQ(mono.mem.get("llc.hits"), banked.mem.get("llc.hits"));
+    EXPECT_DOUBLE_EQ(mono.ipcHarmonicMean(), banked.ipcHarmonicMean());
+}
+
+TEST(HierarchyContention, ContentionOnSlowsConflictingRun)
+{
+    // Sanity: with the model on, a real multi-core run can only get
+    // slower (queuing adds latency, never removes it).
+    SystemConfig cfg = defaultConfig(2);
+    cfg.coresPerL2 = 2;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.llcBytesPerCore = 192 * 1024;
+    cfg.llcBanks = 2;
+    Mix m = homogeneousMix("tpcc", 2);
+
+    ExperimentContext off_ctx(cfg, 3000, 10000);
+    SimResult off = off_ctx.runPolicy(PolicyKind::LRU, false, m);
+
+    cfg.llcBankServiceCycles = 16;
+    ExperimentContext on_ctx(cfg, 3000, 10000);
+    SimResult on = on_ctx.runPolicy(PolicyKind::LRU, false, m);
+
+    EXPECT_GT(on.mem.get("llc.queue_cycles"), 0.0);
+    EXPECT_LE(on.ipcHarmonicMean(), off.ipcHarmonicMean());
+}
+
+TEST(BankedStats, DerivedRatesComeFromSummedCounters)
+{
+    // Set-level ratios must be computed from summed raw counters; the
+    // mean of per-bank ratios weights a cold bank like a hot one.
+    LlcBankSet banks(llcParams(64 * 1024, 4), 2, 0);
+    // Bank 0: one miss then many hits on line 0.
+    MemAccess hot = load(0);
+    banks.access(hot);
+    banks.insert(hot);
+    for (int i = 0; i < 99; ++i)
+        banks.access(hot);
+    // Bank 1: a single miss on line 1.
+    MemAccess cold = load(1 * kLineBytes);
+    banks.access(cold);
+    banks.insert(cold);
+
+    CacheStats total = banks.stats();
+    double summed = static_cast<double>(total.hits) / total.accesses;
+    EXPECT_DOUBLE_EQ(total.hitRate(), summed);
+    EXPECT_DOUBLE_EQ(total.toStatSet().get("hit_rate"), summed);
+    double mean_of_ratios = (banks.bank(0).stats().hitRate() +
+                             banks.bank(1).stats().hitRate()) / 2.0;
+    EXPECT_NE(summed, mean_of_ratios); // 99/101 vs ~0.495
+}
+
+TEST(BankedStats, WindowRatesRecomputedFromSubtractedCounters)
+{
+    // Detailed-window rates must be hits/accesses of the window, not
+    // the (meaningless) difference of cumulative rates.
+    SystemConfig cfg = defaultConfig(2);
+    cfg.coresPerL2 = 2;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.llcBytesPerCore = 192 * 1024;
+    cfg.llcBanks = 2;
+    ExperimentContext ctx(cfg, 5000, 10000);
+    Mix m = homogeneousMix("tpcc", 2);
+    SimResult r = ctx.runPolicy(PolicyKind::LRU, false, m);
+    EXPECT_DOUBLE_EQ(r.mem.get("llc.hit_rate"),
+                     r.mem.get("llc.hits") /
+                         r.mem.get("llc.accesses"));
+    EXPECT_DOUBLE_EQ(r.mem.get("l1d.hit_rate"),
+                     r.mem.get("l1d.hits") /
+                         r.mem.get("l1d.accesses"));
+}
+
+TEST(BankQueueMonitorTest, AttributesTrafficAndDelayPerBank)
+{
+    HierarchyParams h = contentionHier(2, 8);
+    MemoryHierarchy mem(h);
+    BankQueueMonitor mon(2, 0);
+    mem.addLlcListener(&mon);
+    // Same-cycle flood of bank-0 lines (even line numbers) queues
+    // there; bank 1 sees nothing.
+    for (Addr line = 0; line < 16; line += 2)
+        mem.access(load(line * kLineBytes), 0);
+    EXPECT_EQ(mon.bankOf(0), 0u);
+    EXPECT_EQ(mon.bankOf(1 * kLineBytes), 1u);
+    StatSet s = mon.stats();
+    EXPECT_EQ(s.get("bank0.accesses"), 8.0);
+    EXPECT_EQ(s.get("bank1.accesses"), 0.0);
+    EXPECT_GT(s.get("bank0.queue_cycles"), 0.0);
+    EXPECT_GT(mon.meanQueueDelay(), 0.0);
+    EXPECT_EQ(mon.accessImbalance(), 2.0); // all traffic on one of two
+}
+
+TEST(ContentionSweep, DeterministicAcrossJobCounts)
+{
+    // The contention model keeps the sweep engine's byte-identity
+    // guarantee: per-bank busy state lives inside each job's private
+    // System, so --jobs must not change a single table cell.
+    SystemConfig cfg = defaultConfig(2);
+    cfg.coresPerL2 = 2;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.llcBytesPerCore = 192 * 1024;
+    Mix m = homogeneousMix("tpcc", 2);
+
+    auto run_with_jobs = [&](unsigned jobs) {
+        SweepSpec spec(cfg);
+        spec.llcBanks({1, 2})
+            .llcBankServiceCycles({0, 8})
+            .mixes({m});
+        ExperimentContext ctx(cfg, 2000, 6000);
+        SweepRunner runner(ctx);
+        SweepOptions opts;
+        opts.jobs = jobs;
+        return runner.run(spec, opts).toCsv();
+    };
+    EXPECT_EQ(run_with_jobs(1), run_with_jobs(8));
 }
 
 TEST(LlcBankSet, RejectsBadGeometry)
