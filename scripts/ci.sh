@@ -91,6 +91,43 @@ cat > "$build/BENCH_bank_contention.json" <<EOF
 EOF
 cat "$build/BENCH_bank_contention.json"
 
+# DRAM contention: the channel-queueing model (arrival-keyed backfill,
+# multi-slot channels, DRAM-fed LLC MSHRs) must hold the same
+# byte-identity guarantee across --jobs, and its headline curve (avg
+# DRAM queue delay falling as channels grow) is archived for trend
+# tracking alongside the weighted-speedup column.
+echo "== dram contention (channel sweep, --jobs 1 vs 8) =="
+dram_args=(--warmup 10000 --instr 20000 --mixes 1 --contention --svc 4
+           --ports 1 --dram-sweep --dram-ports 1 --dram-mshr)
+"$build/bank_sensitivity" "${dram_args[@]}" --jobs 1 > "$build/dram_cont_j1.txt"
+"$build/bank_sensitivity" "${dram_args[@]}" --jobs 8 > "$build/dram_cont_j8.txt"
+if ! diff -q "$build/dram_cont_j1.txt" "$build/dram_cont_j8.txt" > /dev/null; then
+  echo "FAIL: bank_sensitivity --dram-sweep differs between --jobs 1 and 8"
+  diff "$build/dram_cont_j1.txt" "$build/dram_cont_j8.txt" | head -20
+  exit 1
+fi
+echo "bank_sensitivity --dram-sweep: --jobs 1 vs --jobs 8 byte-identical"
+
+# Table columns: cores dramch geomean_metric vs_2ch
+# avg_dram_queue_delay; keep the cores=16 curve.
+chan_list=$(awk '$1 == 16 && $2 ~ /^[0-9]+$/ {printf "%s%s", sep, $2; sep=", "}' \
+            "$build/dram_cont_j1.txt")
+dly_list=$(awk '$1 == 16 && $2 ~ /^[0-9]+$/ {printf "%s%s", sep, $5; sep=", "}' \
+           "$build/dram_cont_j1.txt")
+spd_list=$(awk '$1 == 16 && $2 ~ /^[0-9]+$/ {printf "%s%s", sep, $3; sep=", "}' \
+           "$build/dram_cont_j1.txt")
+cat > "$build/BENCH_dram_contention.json" <<EOF
+{
+  "bench": "bank_sensitivity --dram-sweep",
+  "config": "16 cores, 4 llc banks, svc=4, dram-ports=1, dram-fed mshrs",
+  "metric": "avg DRAM queue delay per access (cycles) + weighted speedup",
+  "channels": [$chan_list],
+  "avg_dram_queue_delay_cycles": [$dly_list],
+  "weighted_speedup": [$spd_list]
+}
+EOF
+cat "$build/BENCH_dram_contention.json"
+
 echo "== hot-path throughput (accesses/sec; track across PRs) =="
 "$build/micro_pipeline" --quick | tee "$build/micro_pipeline.txt"
 rate=$(awk '$1 == 8 && $2 == 1 {print $3}' "$build/micro_pipeline.txt")

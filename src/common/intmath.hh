@@ -57,6 +57,19 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/**
+ * Map a 64-bit hash uniformly onto [0, n) without a division (Lemire's
+ * multiply-shift fast range).  Unlike `hash % n` this is unbiased for
+ * any @p n and costs one multiply; callers that need the exact low-bit
+ * mapping of `% n` for power-of-two @p n should mask instead.
+ */
+constexpr std::uint32_t
+fastRange(std::uint64_t hash, std::uint32_t n)
+{
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
 /** Runtime check that a structure size is a power of two. */
 inline void
 checkPowerOf2(std::uint64_t v, const char *what)

@@ -42,10 +42,13 @@ constexpr Addr kLinesPerPage = kPageBytes / kLineBytes;
  * Tolerated out-of-order arrival window for shared-resource occupancy
  * models (DRAM channels, LLC bank ports).  The simulator interleaves
  * cores with bounded time skew, so a request arriving more than this
- * many cycles behind a structure's booked future is served from the
- * capacity the structure had back then ("backfill") instead of
- * queueing behind reservations made after its arrival.  One constant
- * for every model keeps their skew tolerance from drifting apart.
+ * many cycles behind the newest arrival a structure has seen (its
+ * arrival high-water mark — never its busy horizon, which would write
+ * off genuine backlog) is served from the capacity the structure had
+ * back then ("backfill") instead of queueing behind reservations made
+ * after its arrival; a backfill into a saturated structure still pays
+ * for and books the committed bandwidth.  One constant for every model
+ * keeps their skew tolerance from drifting apart.
  */
 constexpr Cycle kBackfillSlack = 64;
 

@@ -110,6 +110,20 @@ Garibaldi::queryCost() const
     return params.qbsLookupCost;
 }
 
+const std::vector<std::string> &
+Garibaldi::gaugeStats()
+{
+    // The threshold unit's exports below are live readings of its
+    // adaptive state; everything else in stats() is a counter.
+    static const std::vector<std::string> gauges = {
+        "threshold.threshold",
+        "threshold.color",
+        "threshold.last_pdmiss",
+        "threshold.last_llc_miss_rate",
+    };
+    return gauges;
+}
+
 StatSet
 Garibaldi::stats() const
 {

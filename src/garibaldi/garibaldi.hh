@@ -55,6 +55,15 @@ class Garibaldi : public LlcCompanion
     /** Aggregate module statistics (feeds the energy model too). */
     StatSet stats() const;
 
+    /**
+     * Names of the stats() entries that are gauges — point-in-time
+     * readings, not counters.  Anything that windows the stat set
+     * (Simulator::run) must report these as the end-of-window value
+     * instead of differencing snapshots; keep this list in sync with
+     * every gauge the module (or its sub-units) exports.
+     */
+    static const std::vector<std::string> &gaugeStats();
+
     PairTable &pairTable() { return pairs; }
     DppnTable &dppnTable() { return dppn; }
     HelperTable &helperTable(CoreId core) { return *helpers.at(core); }

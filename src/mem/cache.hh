@@ -160,7 +160,15 @@ class Cache
     /** Invalidate a resident line (coherence). @return was dirty. */
     bool invalidate(Addr line_addr);
 
-    /** Record an in-flight miss for @p line completing at @p ready. */
+    /**
+     * Record an in-flight miss for @p line completing at @p ready.
+     * The entry occupies one MSHR until @p ready passes (pruned
+     * lazily), so what the caller books here is what mshrsFull()
+     * measures: with DRAM-fed residency (HierarchyParams::
+     * dramFedLlcMshrs) the LLC banks book the channel's fill
+     * completion instant, making MSHR pressure track real memory
+     * backpressure.
+     */
     void addPending(Addr line_addr, Cycle ready);
 
     /**

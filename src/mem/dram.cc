@@ -9,47 +9,84 @@ namespace garibaldi
 {
 
 Dram::Dram(const DramParams &params_)
-    : params(params_), nextFree(params_.channels, 0)
+    : params(params_),
+      busyUntil(std::size_t{params_.channels} * params_.channelPorts, 0),
+      lastArrival(params_.channels, 0)
 {
     if (params.channels == 0)
         fatal("DRAM needs at least one channel");
+    if (params.channelPorts == 0)
+        fatal("DRAM channels need at least one transfer slot");
 }
 
 std::uint32_t
 Dram::channelOf(Addr line_addr) const
 {
-    // Hash the line address so structured strides spread over channels.
-    return static_cast<std::uint32_t>(mix64(line_addr) % params.channels);
+    std::uint64_t h = mix64(line_addr);
+    if (isPowerOf2(params.channels))
+        return static_cast<std::uint32_t>(h) & (params.channels - 1);
+    return fastRange(h, params.channels);
 }
 
-Cycle
-Dram::access(Addr line_addr, bool is_write, Cycle now)
+DramAccess
+Dram::request(Addr line_addr, bool is_write, Cycle now)
 {
     std::uint32_t ch = channelOf(line_addr);
+    Cycle *slots = &busyUntil[std::size_t{ch} * params.channelPorts];
+
+    // Earliest-free slot wins; ties break on the lowest index so the
+    // model is deterministic for any access order the simulator's
+    // global-time heap produces.
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < params.channelPorts; ++i)
+        if (slots[i] < slots[best])
+            best = i;
+
     // Requests can arrive slightly out of time order (cores are
-    // interleaved with bounded skew).  A request from the "past" slots
-    // into capacity the channel had back then instead of queueing
-    // behind a future request.
-    if (now + kBackfillSlack < nextFree[ch]) {
+    // interleaved with bounded skew).  The backfill test is keyed on
+    // the channel's *arrival* high-water mark, NOT on its busy horizon:
+    // a same-cycle burst or an in-order backlog always queues FCFS (a
+    // saturated channel's backlog is never written off as free), and
+    // only a genuine straggler — issued more than kBackfillSlack behind
+    // the newest arrival seen — is served from the capacity the channel
+    // had back then.
+    Cycle queue = 0;
+    bool backfill = now + kBackfillSlack < lastArrival[ch];
+    if (backfill) {
+        // Bandwidth is conserved: the straggler's transfer still takes
+        // serviceCycles of wire time, charged to the earliest slot
+        // without the max(now, busy) clamp — reservations booked after
+        // its arrival must not read as its own queue.  Its queue delay
+        // is the backlog already committed beyond the high-water mark:
+        // zero while the schedule has slack behind the newest arrival,
+        // the real queue depth once the channel is saturated.
+        Cycle horizon = slots[best];
+        if (horizon > lastArrival[ch])
+            queue = horizon - lastArrival[ch];
+        slots[best] = horizon + params.serviceCycles;
         ++nBackfills;
-        if (is_write) {
-            ++nWrites;
-            return 0;
-        }
-        ++nReads;
-        return params.baseLatency;
+        backfillQueuedCycles += queue;
+    } else {
+        lastArrival[ch] = std::max(lastArrival[ch], now);
+        Cycle start = std::max(now, slots[best]);
+        queue = start - now;
+        slots[best] = start + params.serviceCycles;
     }
-    Cycle start = std::max(now, nextFree[ch]);
-    Cycle queue = start - now;
-    nextFree[ch] = start + params.serviceCycles;
     queuedCycles += queue;
     queueDelay.add(queue);
+
+    DramAccess out;
+    out.backfilled = backfill;
     if (is_write) {
         ++nWrites;
-        return 0; // posted write: bandwidth consumed, no core stall
+        out.latency = 0; // posted: bandwidth consumed, no core stall
+        out.completesAt = now + queue + params.serviceCycles;
+        return out;
     }
     ++nReads;
-    return queue + params.baseLatency;
+    out.latency = queue + params.baseLatency;
+    out.completesAt = now + out.latency;
+    return out;
 }
 
 StatSet
@@ -60,6 +97,11 @@ Dram::stats() const
     s.add("writes", static_cast<double>(nWrites));
     s.add("queued_cycles", static_cast<double>(queuedCycles));
     s.add("backfills", static_cast<double>(nBackfills));
+    s.add("backfill_queued_cycles",
+          static_cast<double>(backfillQueuedCycles));
+    // Every access (including zero-delay backfills) feeds the
+    // histogram, so this mean is queued_cycles / (reads + writes) —
+    // the same identity the simulator's windowed recompute uses.
     s.add("avg_queue_delay", queueDelay.mean());
     return s;
 }

@@ -1,8 +1,20 @@
 /**
  * @file
- * DDR5 main-memory model: fixed device access latency plus a per-channel
- * bandwidth queue (Table 1: 2-channel DDR5-6400, 102.4 GB/s aggregate,
- * 49 ns access latency, memory-controller queuing modeled).
+ * DDR5 main-memory model: fixed device access latency plus per-channel
+ * bandwidth queueing (Table 1: 2-channel DDR5-6400, 102.4 GB/s
+ * aggregate, 49 ns access latency, memory-controller queuing modeled).
+ *
+ * Each channel owns @c channelPorts transfer slots (1 = the classic
+ * scalar busy horizon); a transfer occupies the earliest-free slot for
+ * @c serviceCycles.  Out-of-order arrivals are keyed on a per-channel
+ * *arrival* high-water mark, exactly like the LLC bank arrays
+ * (cache.hh): a genuine straggler — one issued more than kBackfillSlack
+ * behind the newest arrival the channel has seen — backfills into the
+ * capacity the channel had back then, but it still consumes a service
+ * slot (bandwidth is conserved) and still pays queue delay equal to the
+ * backlog booked beyond the high-water mark.  A saturated channel's
+ * backlog is therefore never written off as free, and same-cycle bursts
+ * always queue FCFS; only the skew-tolerance window rides cheap.
  */
 
 #ifndef GARIBALDI_MEM_DRAM_HH
@@ -26,6 +38,28 @@ struct DramParams
     Cycle baseLatency = 147;
     /** Channel occupancy per 64 B transfer (51.2 GB/s/ch @ 3 GHz). */
     Cycle serviceCycles = 4;
+    /**
+     * Concurrent transfer slots per channel.  1 (the default) keeps the
+     * historical scalar next-free horizon; more slots model a channel
+     * that overlaps transfers (e.g. bank-group parallelism) without
+     * changing the per-transfer service time.
+     */
+    std::uint32_t channelPorts = 1;
+};
+
+/** Outcome of one DRAM transfer request. */
+struct DramAccess
+{
+    /** Queue + device latency for reads; 0 for posted writes. */
+    Cycle latency = 0;
+    /**
+     * Instant the transfer completes: data available for reads, wire
+     * released for writes.  MSHR books keyed on this see real channel
+     * backpressure instead of a request-path latency sum.
+     */
+    Cycle completesAt = 0;
+    /** Served via the out-of-order backfill path. */
+    bool backfilled = false;
 };
 
 /** Bandwidth-limited DRAM with per-channel FCFS queueing. */
@@ -35,11 +69,26 @@ class Dram
     explicit Dram(const DramParams &params);
 
     /**
-     * Issue a line transfer.
-     * @return total latency (queue + device) for reads; writes are
-     * posted and return 0 while still consuming channel bandwidth.
+     * Issue a line transfer and return its timing (see DramAccess).
+     * Writes are posted: bandwidth is consumed and queue delay counted,
+     * but the returned latency is 0 so no core stalls on them.
      */
-    Cycle access(Addr line_addr, bool is_write, Cycle now);
+    DramAccess request(Addr line_addr, bool is_write, Cycle now);
+
+    /** Compatibility wrapper: latency leg of request(). */
+    Cycle
+    access(Addr line_addr, bool is_write, Cycle now)
+    {
+        return request(line_addr, is_write, now).latency;
+    }
+
+    /**
+     * Channel servicing @p line_addr: hashed so structured strides
+     * spread, reduced by mask for power-of-two channel counts (the
+     * exact historical `% channels` mapping) and by fast range
+     * otherwise (no division, no modulo bias).
+     */
+    std::uint32_t channelOf(Addr line_addr) const;
 
     /** Export statistics. */
     StatSet stats() const;
@@ -48,14 +97,16 @@ class Dram
     std::uint64_t writes() const { return nWrites; }
 
   private:
-    std::uint32_t channelOf(Addr line_addr) const;
-
     DramParams params;
-    std::vector<Cycle> nextFree;
+    /** Per-channel slot busy-until, flattened [channel * ports]. */
+    std::vector<Cycle> busyUntil;
+    /** Per-channel newest arrival seen (the backfill ordering key). */
+    std::vector<Cycle> lastArrival;
     std::uint64_t nReads = 0;
     std::uint64_t nWrites = 0;
     std::uint64_t queuedCycles = 0;
     std::uint64_t nBackfills = 0;
+    std::uint64_t backfillQueuedCycles = 0;
     Histogram queueDelay{8, 64};
 };
 

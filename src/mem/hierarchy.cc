@@ -237,7 +237,10 @@ MemoryHierarchy::stageDramFill(Transaction &txn)
             llcOnlyPrefetch(pfScratch[i], txn.req.core, txn.issued);
     }
 
-    txn.dramCycles = dramModel->access(txn.lineAddr, false, txn.issued);
+    DramAccess fill = dramModel->request(txn.lineAddr, false,
+                                         txn.issued);
+    txn.dramCycles = fill.latency;
+    txn.dramCompletesAt = fill.completesAt;
     txn.llcCycles += llcSet->latency();
     txn.level = HitLevel::Mem;
     if (!txn.allocate)
@@ -260,8 +263,19 @@ MemoryHierarchy::stageDramFill(Transaction &txn)
         txn.queueCycles += llcSet->bankFor(txn.lineAddr)
                                .occupyDataPort(txn.issued, txn.issued);
     }
-    if (!(llcSet->oracleFiltersInstr() && txn.req.isInstr))
-        llcSet->addPending(txn.lineAddr, txn.issued + txn.latency());
+    if (!(llcSet->oracleFiltersInstr() && txn.req.isInstr)) {
+        // DRAM-fed residency keys the bank's MSHR entry on the channel:
+        // the fill's data leaves DRAM at fill.completesAt and lands one
+        // array latency later, so channel backpressure (and nothing
+        // else) stretches occupancy.  The legacy book sums every
+        // request-path leg instead, which also folds tag-port waits and
+        // MSHR penalties into residency; the two are identical while
+        // the bank contention model charges no such legs.
+        Cycle ready = params.dramFedLlcMshrs
+                          ? txn.dramCompletesAt + llcSet->latency()
+                          : txn.issued + txn.latency();
+        llcSet->addPending(txn.lineAddr, ready);
+    }
     txn.llcCycles += llcSet->drainQbsCycles(txn.lineAddr);
 }
 
@@ -355,7 +369,8 @@ MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
         llcSet->bankFor(lineAlign(line_addr)).occupyTagPort(now);
     if (llcSet->access(pf))
         return;
-    Cycle dram_lat = dramModel->access(lineAlign(line_addr), false, now);
+    DramAccess fill = dramModel->request(lineAlign(line_addr), false,
+                                         now);
     Eviction ev = llcSet->insert(pf);
     if (ev.valid && ev.dirty)
         dramModel->access(ev.lineAddr, true, now);
@@ -365,8 +380,11 @@ MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
         // delay charges no transaction.
         llcSet->bankFor(lineAlign(line_addr)).occupyDataPort(now, now);
     }
+    // Prefetch fills carry no request-path legs, so the legacy book
+    // and the DRAM-fed one coincide: fill.completesAt == now +
+    // fill.latency for reads.
     llcSet->addPending(lineAlign(line_addr),
-                       now + llcSet->latency() + dram_lat);
+                       fill.completesAt + llcSet->latency());
 }
 
 void

@@ -45,6 +45,15 @@ struct Transaction
     Cycle coherenceCycles = 0;  //!< directory upgrade/fill penalties
     Cycle mshrCycles = 0;       //!< MSHR-pressure penalty
 
+    /**
+     * Instant the DRAM fill completes on its channel (0 when the
+     * transaction never reached memory).  With dramFedLlcMshrs on,
+     * the owning LLC bank's MSHR entry is held until this instant
+     * (plus the fill's array write), so channel backpressure — not a
+     * request-path latency sum — sets MSHR residency.
+     */
+    Cycle dramCompletesAt = 0;
+
     // ---- outcome -----------------------------------------------------
     HitLevel level = HitLevel::L1; //!< deepest level that serviced it
     bool llcAccessed = false;      //!< the request reached the LLC

@@ -28,10 +28,16 @@ double weightedSpeedup(const std::vector<double> &shared_ipc,
 
 /**
  * @p numerator / @p denominator, 0 when the denominator is not
- * positive.  Derived rates (hit rate, average queue delay, ...) must be
- * computed with this from *summed* raw counters — never by averaging or
- * subtracting per-bank / per-window rates, which weights every bank or
- * window equally regardless of its traffic.
+ * positive.  Derived rates (hit rate, coverage, average queue delay,
+ * ...) must be computed with this from *summed* raw counters — never by
+ * averaging or subtracting per-bank / per-window rates, which weights
+ * every bank or window equally regardless of its traffic.
+ *
+ * Windowing rules (what Simulator::run applies to every exported stat):
+ * counters subtract across the window boundary; ratios are recomputed
+ * with safeRate from the subtracted counters; gauges (point-in-time
+ * readings like threshold.threshold) are never differenced — the
+ * window reports the end-of-window value.
  */
 double safeRate(double numerator, double denominator);
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "garibaldi/garibaldi.hh"
 #include "sim/metrics.hh"
 
 namespace garibaldi
@@ -139,11 +140,11 @@ Simulator::run(std::uint64_t warmup_per_core,
     }
 
     // Counter stats subtract cleanly; derived rates do NOT (a
-    // difference of ratios is not the ratio of differences), so every
-    // rate exported by the hierarchy is recomputed from the subtracted
-    // raw counters below.  res.garibaldi still carries windowed
-    // differences of the module's own ratio/gauge stats (see ROADMAP);
-    // consumers of those must derive rates from raw counters.
+    // difference of ratios is not the ratio of differences), and
+    // gauges (point-in-time readings) must not be differenced at all.
+    // Every rate exported by the hierarchy or the Garibaldi module is
+    // recomputed from the subtracted raw counters below, and gauges
+    // report their end-of-window reading.
     auto subtract = [](const StatSet &after, const StatSet &before) {
         StatSet out;
         for (const auto &[name, value] : after.entries()) {
@@ -167,6 +168,7 @@ Simulator::run(std::uint64_t warmup_per_core,
         const std::string kHitRate = "hit_rate";
         const std::string kInstrMissRate = "instr_miss_rate";
         const std::string kAvgQueueDelay = "avg_queue_delay";
+        const std::string kCoverage = "coverage";
         for (const auto &name : names) {
             auto ends_with = [&name](const std::string &suffix) {
                 return name.size() >= suffix.size() &&
@@ -183,25 +185,45 @@ Simulator::run(std::uint64_t warmup_per_core,
                     name.substr(0, name.size() - kHitRate.size());
                 s.add(name, ratio_of(prefix, "hits", "accesses"));
             } else if (ends_with(kAvgQueueDelay)) {
-                // DRAM exports a cumulative mean over *granted*
-                // reservations; the window's mean is queued cycles
-                // over the window's accesses minus its backfills
-                // (which by construction contribute zero queue).
+                // DRAM exports a cumulative mean over every access —
+                // backfills included, since they book bandwidth and
+                // can be charged queue like anything else — so the
+                // window's mean is its queued cycles over ALL of its
+                // accesses (no backfill subtraction: removing charged
+                // backfills from the denominator would overstate the
+                // delay the charged cycles already account for).
                 std::string prefix =
                     name.substr(0, name.size() - kAvgQueueDelay.size());
                 double granted = s.get(prefix + "reads") +
-                                 s.get(prefix + "writes") -
-                                 s.get(prefix + "backfills");
+                                 s.get(prefix + "writes");
                 s.add(name, safeRate(s.get(prefix + "queued_cycles"),
                                      granted));
+            } else if (ends_with(kCoverage)) {
+                // helper.coverage = hits / (hits + misses).
+                std::string prefix =
+                    name.substr(0, name.size() - kCoverage.size());
+                double h = s.get(prefix + "hits");
+                double m = s.get(prefix + "misses");
+                s.add(name, safeRate(h, h + m));
             }
         }
     };
 
     res.mem = subtract(sys.hierarchy().stats(), mem_before);
     recomputeRates(res.mem);
-    if (sys.garibaldi())
-        res.garibaldi = subtract(sys.garibaldi()->stats(), gari_before);
+    if (sys.garibaldi()) {
+        StatSet gari_after = sys.garibaldi()->stats();
+        res.garibaldi = subtract(gari_after, gari_before);
+        // helper.coverage flows through the same safeRate recompute as
+        // the hierarchy rates; the threshold unit's gauges are
+        // point-in-time readings, so the windowed report is simply the
+        // end-of-window value (a difference of two gauge readings is
+        // noise — quickstart used to print it as such).
+        recomputeRates(res.garibaldi);
+        for (const std::string &gauge : Garibaldi::gaugeStats())
+            if (gari_after.has(gauge))
+                res.garibaldi.add(gauge, gari_after.get(gauge));
+    }
     res.tlb = subtract(sum_tlb(), tlb_before);
     return res;
 }

@@ -48,6 +48,7 @@ SystemConfig::hierarchyParams() const
     h.llcBankPorts = llcBankPorts;
 
     h.dram = dram;
+    h.dramFedLlcMshrs = dramFedLlcMshrs;
     h.l1dNextLinePrefetcher = l1dNextLinePrefetcher;
     h.l2GhbPrefetcher = l2GhbPrefetcher;
     h.l1iIspyPrefetcher = l1iIspyPrefetcher;
@@ -66,6 +67,17 @@ SystemConfig::summary() const
     if (llcBankServiceCycles > 0)
         os << " bank-q(svc=" << llcBankServiceCycles << ",ports="
            << llcBankPorts << ")";
+    // Printed only off the Table 1 defaults so historical bench
+    // headers stay untouched.
+    DramParams dflt{};
+    if (dram.channels != dflt.channels ||
+        dram.channelPorts != dflt.channelPorts || dramFedLlcMshrs) {
+        os << " dram(ch=" << dram.channels << ",ports="
+           << dram.channelPorts;
+        if (dramFedLlcMshrs)
+            os << ",fed-mshr";
+        os << ")";
+    }
     if (garibaldiEnabled)
         os << "+garibaldi(k=" << garibaldi.k << ")";
     if (llcInstrPartitionWays)

@@ -109,6 +109,28 @@ SweepSpec::llcBankPorts(const std::vector<std::uint32_t> &ports)
 }
 
 SweepSpec &
+SweepSpec::dramChannels(const std::vector<std::uint32_t> &channels)
+{
+    SweepAxis ax{"dramch", {}};
+    for (std::uint32_t n : channels)
+        ax.values.push_back({std::to_string(n), [n](SweepPoint &p) {
+                                 p.config.dram.channels = n;
+                             }});
+    return axis(std::move(ax));
+}
+
+SweepSpec &
+SweepSpec::dramChannelPorts(const std::vector<std::uint32_t> &ports)
+{
+    SweepAxis ax{"dramports", {}};
+    for (std::uint32_t n : ports)
+        ax.values.push_back({std::to_string(n), [n](SweepPoint &p) {
+                                 p.config.dram.channelPorts = n;
+                             }});
+    return axis(std::move(ax));
+}
+
+SweepSpec &
 SweepSpec::llcSizeKb(const std::vector<std::uint64_t> &kb_per_core)
 {
     SweepAxis ax{"llc_kb", {}};

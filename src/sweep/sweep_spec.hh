@@ -97,6 +97,11 @@ class SweepSpec
     SweepSpec &llcBankServiceCycles(const std::vector<Cycle> &cycles);
     /** Ports per bank array ("ports"). */
     SweepSpec &llcBankPorts(const std::vector<std::uint32_t> &ports);
+    /** DRAM channel count ("dramch"). */
+    SweepSpec &dramChannels(const std::vector<std::uint32_t> &channels);
+    /** Transfer slots per DRAM channel ("dramports"). */
+    SweepSpec &
+    dramChannelPorts(const std::vector<std::uint32_t> &ports);
     /** LLC capacity per core, in KB. */
     SweepSpec &llcSizeKb(const std::vector<std::uint64_t> &kb_per_core);
     SweepSpec &llcAssociativity(const std::vector<std::uint32_t> &ways);

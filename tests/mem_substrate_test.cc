@@ -1,14 +1,14 @@
 /**
  * @file
- * Tests for the remaining memory substrates: DRAM timing/queueing,
- * MESI directory, and the three prefetch engines.
+ * Tests for the remaining memory substrates: MESI directory and the
+ * three prefetch engines.  The DRAM channel model has its own suite in
+ * dram_test.cc (FCFS math, backfill keying, multi-slot channels).
  */
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
 #include "mem/coherence.hh"
-#include "mem/dram.hh"
 #include "mem/prefetch/ghb.hh"
 #include "mem/prefetch/ispy.hh"
 #include "mem/prefetch/next_line.hh"
@@ -17,74 +17,6 @@ namespace garibaldi
 {
 namespace
 {
-
-// --------------------------------------------------------------------
-// DRAM
-// --------------------------------------------------------------------
-
-TEST(Dram, IdleReadPaysBaseLatency)
-{
-    DramParams p;
-    Dram d(p);
-    EXPECT_EQ(d.access(0x1000, false, 1000), p.baseLatency);
-}
-
-TEST(Dram, PostedWritesReturnZero)
-{
-    Dram d(DramParams{});
-    EXPECT_EQ(d.access(0x1000, true, 0), 0u);
-    EXPECT_EQ(d.writes(), 1u);
-}
-
-TEST(Dram, SaturationQueues)
-{
-    DramParams p;
-    p.channels = 1;
-    p.serviceCycles = 4;
-    Dram d(p);
-    // Back-to-back requests at the same instant pile up.
-    Cycle first = d.access(0 << kLineShift, false, 100);
-    Cycle second = d.access(1 << kLineShift, false, 100);
-    Cycle third = d.access(2 << kLineShift, false, 100);
-    EXPECT_EQ(first, p.baseLatency);
-    EXPECT_EQ(second, p.baseLatency + 4);
-    EXPECT_EQ(third, p.baseLatency + 8);
-}
-
-TEST(Dram, BandwidthRecoversAfterGap)
-{
-    DramParams p;
-    p.channels = 1;
-    Dram d(p);
-    d.access(0, false, 100);
-    d.access(64, false, 100);
-    // A request far in the future sees an idle channel.
-    EXPECT_EQ(d.access(128, false, 100000), p.baseLatency);
-}
-
-TEST(Dram, BackfillIgnoresOutOfOrderPast)
-{
-    DramParams p;
-    p.channels = 1;
-    Dram d(p);
-    // Future request claims the channel...
-    d.access(0, false, 10000);
-    // ...a straggler from the (bounded-skew) past is not charged the
-    // future queue.
-    EXPECT_EQ(d.access(64, false, 100), p.baseLatency);
-}
-
-TEST(Dram, ChannelsSpreadLoad)
-{
-    DramParams p;
-    p.channels = 2;
-    Dram d(p);
-    int queued = 0;
-    for (Addr a = 0; a < 8; ++a)
-        queued += d.access(a << kLineShift, false, 50) > p.baseLatency;
-    // With 2 channels, at most 6 of 8 same-instant requests queue.
-    EXPECT_LT(queued, 7);
-}
 
 // --------------------------------------------------------------------
 // MESI directory

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "garibaldi/garibaldi.hh"
 #include "sim/energy.hh"
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
@@ -121,6 +122,38 @@ TEST(Simulator, DetailedWindowStatsExcludeWarmup)
     // of the full run (which warmup dominated), proving subtraction.
     EXPECT_LT(r.mem.get("llc.accesses"), 100000.0);
     EXPECT_GE(r.mem.get("llc.accesses"), 0.0);
+}
+
+TEST(Simulator, WindowedGaribaldiRatiosAndGauges)
+{
+    // helper.coverage is a ratio and the threshold unit's readings are
+    // gauges; both used to be windowed as differences of cumulative
+    // values, which quickstart printed as negative nonsense.  Ratios
+    // must now come from the windowed raw counters and gauges must
+    // report the end-of-window value.
+    SystemConfig cfg = tinyConfig(2);
+    cfg.garibaldiEnabled = true;
+    System sys(cfg, randomServerMix(7, 2));
+    Simulator sim(sys);
+    SimResult r = sim.run(20000, 5000);
+
+    double h = r.garibaldi.get("helper.hits");
+    double m = r.garibaldi.get("helper.misses");
+    EXPECT_GT(h + m, 0.0);
+    EXPECT_DOUBLE_EQ(r.garibaldi.get("helper.coverage"),
+                     safeRate(h, h + m));
+    EXPECT_GE(r.garibaldi.get("helper.coverage"), 0.0);
+    EXPECT_LE(r.garibaldi.get("helper.coverage"), 1.0);
+    // Gauges match the live module's current reading, not a delta.
+    StatSet live = sys.garibaldi()->stats();
+    EXPECT_FALSE(Garibaldi::gaugeStats().empty());
+    for (const std::string &g : Garibaldi::gaugeStats()) {
+        ASSERT_TRUE(live.has(g)) << g;
+        EXPECT_DOUBLE_EQ(r.garibaldi.get(g), live.get(g)) << g;
+    }
+    // threshold.color is a rotation index: always non-negative, which
+    // the old differenced report was not.
+    EXPECT_GE(r.garibaldi.get("threshold.color"), 0.0);
 }
 
 TEST(Simulator, CpiStackCoversAllCycles)
