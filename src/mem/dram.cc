@@ -1,6 +1,7 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
@@ -8,15 +9,37 @@
 namespace garibaldi
 {
 
+namespace
+{
+/** openRow sentinel: all banks precharged (row ids are 58-bit max). */
+constexpr std::uint64_t kNoOpenRow =
+    std::numeric_limits<std::uint64_t>::max();
+} // namespace
+
 Dram::Dram(const DramParams &params_)
     : params(params_),
       busyUntil(std::size_t{params_.channels} * params_.channelPorts, 0),
-      lastArrival(params_.channels, 0)
+      lastArrival(params_.channels, 0),
+      openRow(params_.channels, kNoOpenRow),
+      busDir(params_.channels, -1),
+      refreshEpoch(params_.channels, 0)
 {
     if (params.channels == 0)
         fatal("DRAM needs at least one channel");
     if (params.channelPorts == 0)
         fatal("DRAM channels need at least one transfer slot");
+    if (params.rowModelOn() && params.baseLatency < 3)
+        fatal("DRAM row-buffer split needs baseLatency >= 3 (the "
+              "hit/miss/conflict thirds collapse below that)");
+    if (params.refreshPenaltyCycles > 0 &&
+        params.refreshIntervalCycles == 0)
+        fatal("DRAM refreshPenaltyCycles > 0 needs a non-zero "
+              "refreshIntervalCycles (tREFI)");
+    if (params.refreshOn() &&
+        params.refreshPenaltyCycles >= params.refreshIntervalCycles)
+        fatal("DRAM refresh penalty (tRFC) must be smaller than the "
+              "refresh interval (tREFI); the channel would never "
+              "unblock");
 }
 
 std::uint32_t
@@ -26,6 +49,21 @@ Dram::channelOf(Addr line_addr) const
     if (isPowerOf2(params.channels))
         return static_cast<std::uint32_t>(h) & (params.channels - 1);
     return fastRange(h, params.channels);
+}
+
+Cycle
+Dram::afterRefresh(Cycle t) const
+{
+    // Windows are [k*tREFI, k*tREFI + tRFC) for k >= 1; tRFC < tREFI
+    // (constructor-checked), so at most the window containing t moves
+    // the grant.
+    Cycle k = t / params.refreshIntervalCycles;
+    if (k == 0)
+        return t;
+    Cycle window = k * params.refreshIntervalCycles;
+    if (t < window + params.refreshPenaltyCycles)
+        return window + params.refreshPenaltyCycles;
+    return t;
 }
 
 DramAccess
@@ -42,6 +80,13 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
         if (slots[i] < slots[best])
             best = i;
 
+    // Bus-direction turnaround: the penalty applies to the slot the
+    // transfer wins, so an idle gap longer than the penalty absorbs it
+    // (the bus turned around while nothing was queued).
+    bool flip = params.turnaroundOn() && busDir[ch] >= 0 &&
+                (busDir[ch] == 1) != is_write;
+    busDir[ch] = is_write ? 1 : 0;
+
     // Requests can arrive slightly out of time order (cores are
     // interleaved with bounded skew).  The backfill test is keyed on
     // the channel's *arrival* high-water mark, NOT on its busy horizon:
@@ -51,6 +96,7 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
     // the newest arrival seen — is served from the capacity the channel
     // had back then.
     Cycle queue = 0;
+    Cycle grant; // instant the transfer wins the wire
     bool backfill = now + kBackfillSlack < lastArrival[ch];
     if (backfill) {
         // Bandwidth is conserved: the straggler's transfer still takes
@@ -60,32 +106,120 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
         // is the backlog already committed beyond the high-water mark:
         // zero while the schedule has slack behind the newest arrival,
         // the real queue depth once the channel is saturated.
+        // Turnaround quiet time and refresh pushes book real wire
+        // displacement, but the stall stats stay requester-visible —
+        // only the portion of the push that lands beyond the
+        // high-water mark is wait anyone experiences; the slack window
+        // absorbs the rest exactly like an in-order idle gap.
+        auto backlog = [this, ch](Cycle h) {
+            return h > lastArrival[ch] ? h - lastArrival[ch] : Cycle{0};
+        };
         Cycle horizon = slots[best];
-        if (horizon > lastArrival[ch])
-            queue = horizon - lastArrival[ch];
+        Cycle charged = backlog(horizon);
+        if (flip) {
+            horizon += params.turnaroundCycles;
+            ++nTurnarounds;
+            turnaroundStallCycles += backlog(horizon) - charged;
+            charged = backlog(horizon);
+        }
+        if (params.refreshOn()) {
+            horizon = afterRefresh(horizon);
+            if (backlog(horizon) > charged) {
+                ++nRefreshBlocked;
+                refreshStallCycles += backlog(horizon) - charged;
+            }
+        }
+        queue = backlog(horizon);
+        grant = horizon;
         slots[best] = horizon + params.serviceCycles;
         ++nBackfills;
         backfillQueuedCycles += queue;
     } else {
         lastArrival[ch] = std::max(lastArrival[ch], now);
         Cycle start = std::max(now, slots[best]);
+        if (flip) {
+            Cycle turned = std::max(now, slots[best] +
+                                             params.turnaroundCycles);
+            ++nTurnarounds;
+            turnaroundStallCycles += turned - start;
+            start = turned;
+        }
+        if (params.refreshOn()) {
+            Cycle aligned = afterRefresh(start);
+            if (aligned > start) {
+                ++nRefreshBlocked;
+                refreshStallCycles += aligned - start;
+                start = aligned;
+            }
+        }
         queue = start - now;
+        grant = start;
         slots[best] = start + params.serviceCycles;
     }
     queuedCycles += queue;
     queueDelay.add(queue);
+
+    // Device-latency leg from the channel's open-row state.  Row state
+    // advances in arrival order (like every other book here), but the
+    // refresh epoch is keyed on the *grant* instant: an access whose
+    // grant was pushed past a tREFI boundary finds the blast already
+    // precharged its row, so the first access granted after each
+    // refresh is a row miss, never a hit.
+    Cycle device = params.baseLatency;
+    int leg = -1;
+    if (params.rowModelOn()) {
+        if (params.refreshOn()) {
+            Cycle epoch = grant / params.refreshIntervalCycles;
+            if (epoch > refreshEpoch[ch]) {
+                refreshEpoch[ch] = epoch;
+                openRow[ch] = kNoOpenRow;
+            }
+        }
+        std::uint64_t row = lineNumber(line_addr) >> params.rowBits;
+        if (openRow[ch] == row) {
+            leg = kRowHit;
+            device = params.rowHitLatency();
+        } else if (openRow[ch] == kNoOpenRow) {
+            leg = kRowMiss;
+            device = params.rowMissLatency();
+        } else {
+            leg = kRowConflict;
+            device = params.rowConflictLatency();
+        }
+        ++rowCount[leg];
+        openRow[ch] = row; // open-page policy: the row stays open
+    }
+
+    // The slot end just booked — the instant the wire is really
+    // released.  On the backfill path this can sit far beyond
+    // now + queue + serviceCycles (queue only counts the backlog past
+    // the high-water mark), and MSHR books keyed on completesAt must
+    // see the booked time, not the shorter request-path sum.
+    Cycle wire_end = slots[best];
 
     DramAccess out;
     out.backfilled = backfill;
     if (is_write) {
         ++nWrites;
         out.latency = 0; // posted: bandwidth consumed, no core stall
-        out.completesAt = now + queue + params.serviceCycles;
+        out.completesAt = wire_end;
         return out;
     }
     ++nReads;
-    out.latency = queue + params.baseLatency;
-    out.completesAt = now + out.latency;
+    out.latency = queue + device;
+    out.completesAt = std::max(now + out.latency, wire_end);
+    readLatCycles += out.latency;
+    if (leg >= 0) {
+        // Per-leg books take the device leg only — queue delay is
+        // reported orthogonally (total = queue + device).  Refresh
+        // stalls concentrate on the miss leg (the first access granted
+        // after each blast is a miss), so folding queue in would let
+        // the miss mean overtake the conflict mean and invert the
+        // structural hit < miss < conflict ordering.
+        ++legReads[leg];
+        legReadCycles[leg] += device;
+        legLatency[leg].add(device);
+    }
     return out;
 }
 
@@ -103,6 +237,52 @@ Dram::stats() const
     // histogram, so this mean is queued_cycles / (reads + writes) —
     // the same identity the simulator's windowed recompute uses.
     s.add("avg_queue_delay", queueDelay.mean());
+    // Timing-leg stats export only when their model is on, so flat-
+    // latency runs keep the historical stat surface byte-for-byte
+    // (the PR-3 contentionModeled discipline).
+    if (params.rowModelOn()) {
+        double hits = static_cast<double>(rowCount[kRowHit]);
+        double misses = static_cast<double>(rowCount[kRowMiss]);
+        double conflicts = static_cast<double>(rowCount[kRowConflict]);
+        double accesses = hits + misses + conflicts;
+        s.add("row_hits", hits);
+        s.add("row_misses", misses);
+        s.add("row_conflicts", conflicts);
+        s.add("row_accesses", accesses);
+        s.add("row_hit_rate", accesses > 0 ? hits / accesses : 0.0);
+        static const char *const kLegName[3] = {"hit", "miss",
+                                                "conflict"};
+        for (int leg = 0; leg < 3; ++leg) {
+            std::string p = std::string("row_") + kLegName[leg];
+            s.add(p + "_reads", static_cast<double>(legReads[leg]));
+            s.add(p + "_lat_cycles",
+                  static_cast<double>(legReadCycles[leg]));
+            // Device-leg latency per leg (queue excluded; see
+            // rowLegLatency); the windowed recompute rebuilds this
+            // from the two raw counters above.
+            s.add("avg_" + p + "_latency", legLatency[leg].mean());
+        }
+    }
+    if (params.timingEnabled()) {
+        // Full read latency (queue + device): the end-to-end view the
+        // per-leg device books deliberately exclude queue from.
+        s.add("read_lat_cycles", static_cast<double>(readLatCycles));
+        s.add("avg_read_latency",
+              nReads > 0
+                  ? static_cast<double>(readLatCycles) /
+                        static_cast<double>(nReads)
+                  : 0.0);
+    }
+    if (params.turnaroundOn()) {
+        s.add("turnarounds", static_cast<double>(nTurnarounds));
+        s.add("turnaround_cycles",
+              static_cast<double>(turnaroundStallCycles));
+    }
+    if (params.refreshOn()) {
+        s.add("refresh_blocked", static_cast<double>(nRefreshBlocked));
+        s.add("refresh_stall_cycles",
+              static_cast<double>(refreshStallCycles));
+    }
     return s;
 }
 

@@ -265,12 +265,14 @@ MemoryHierarchy::stageDramFill(Transaction &txn)
     }
     if (!(llcSet->oracleFiltersInstr() && txn.req.isInstr)) {
         // DRAM-fed residency keys the bank's MSHR entry on the channel:
-        // the fill's data leaves DRAM at fill.completesAt and lands one
-        // array latency later, so channel backpressure (and nothing
-        // else) stretches occupancy.  The legacy book sums every
-        // request-path leg instead, which also folds tag-port waits and
-        // MSHR penalties into residency; the two are identical while
-        // the bank contention model charges no such legs.
+        // the fill's data leaves DRAM at fill.completesAt — never
+        // earlier than the booked service-slot end, even for backfills
+        // — and lands one array latency later, so channel backpressure
+        // (and nothing else) stretches occupancy.  The legacy book sums
+        // every request-path leg instead, which also folds tag-port
+        // waits and MSHR penalties into residency; the two are
+        // identical while the bank contention model charges no such
+        // legs and no fill is backfilled.
         Cycle ready = params.dramFedLlcMshrs
                           ? txn.dramCompletesAt + llcSet->latency()
                           : txn.issued + txn.latency();
@@ -380,11 +382,16 @@ MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
         // delay charges no transaction.
         llcSet->bankFor(lineAlign(line_addr)).occupyDataPort(now, now);
     }
-    // Prefetch fills carry no request-path legs, so the legacy book
-    // and the DRAM-fed one coincide: fill.completesAt == now +
-    // fill.latency for reads.
+    // Same discipline as demand fills: the legacy book is the
+    // request-path latency sum, the DRAM-fed book is the channel's
+    // booked completion.  The two differ for backfilled fills, where
+    // completesAt reports the real slot end — which can sit far beyond
+    // now + latency (queue only counts the backlog past the arrival
+    // high-water mark).
+    Cycle fill_done = params.dramFedLlcMshrs ? fill.completesAt
+                                             : now + fill.latency;
     llcSet->addPending(lineAlign(line_addr),
-                       fill.completesAt + llcSet->latency());
+                       fill_done + llcSet->latency());
 }
 
 void

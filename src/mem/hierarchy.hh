@@ -70,7 +70,9 @@ struct HierarchyParams
      * instant plus the array write, instead of the legacy sum of every
      * request-path latency leg (which also folds in tag-port waits and
      * MSHR penalties).  Off (default) keeps the legacy book; the two
-     * differ only when the bank contention model charges such legs.
+     * differ only when the bank contention model charges such legs or
+     * a fill is served on the DRAM backfill path (whose completesAt is
+     * the booked slot end, not the shorter request-path sum).
      */
     bool dramFedLlcMshrs = false;
     /** Tracked lines in the bounded instruction-criticality table. */

@@ -169,6 +169,19 @@ Simulator::run(std::uint64_t warmup_per_core,
         const std::string kInstrMissRate = "instr_miss_rate";
         const std::string kAvgQueueDelay = "avg_queue_delay";
         const std::string kCoverage = "coverage";
+        // DRAM row-buffer legs: avg_row_<leg>_latency is rebuilt from
+        // the leg's raw (cycles, reads) counters.  dram.row_hit_rate
+        // needs no entry here — it ends with "hit_rate" and the
+        // generic branch below recomputes it from dram.row_hits /
+        // dram.row_accesses.
+        const std::string kAvgRowLegLatency[3] = {
+            "avg_row_hit_latency", "avg_row_miss_latency",
+            "avg_row_conflict_latency"};
+        const std::string kRowLegCounters[3][2] = {
+            {"row_hit_lat_cycles", "row_hit_reads"},
+            {"row_miss_lat_cycles", "row_miss_reads"},
+            {"row_conflict_lat_cycles", "row_conflict_reads"}};
+        const std::string kAvgReadLatency = "avg_read_latency";
         for (const auto &name : names) {
             auto ends_with = [&name](const std::string &suffix) {
                 return name.size() >= suffix.size() &&
@@ -198,6 +211,25 @@ Simulator::run(std::uint64_t warmup_per_core,
                                  s.get(prefix + "writes");
                 s.add(name, safeRate(s.get(prefix + "queued_cycles"),
                                      granted));
+            } else if (ends_with(kAvgRowLegLatency[0]) ||
+                       ends_with(kAvgRowLegLatency[1]) ||
+                       ends_with(kAvgRowLegLatency[2])) {
+                for (int leg = 0; leg < 3; ++leg) {
+                    if (!ends_with(kAvgRowLegLatency[leg]))
+                        continue;
+                    std::string prefix = name.substr(
+                        0, name.size() - kAvgRowLegLatency[leg].size());
+                    s.add(name,
+                          safeRate(
+                              s.get(prefix + kRowLegCounters[leg][0]),
+                              s.get(prefix + kRowLegCounters[leg][1])));
+                    break;
+                }
+            } else if (ends_with(kAvgReadLatency)) {
+                std::string prefix = name.substr(
+                    0, name.size() - kAvgReadLatency.size());
+                s.add(name, safeRate(s.get(prefix + "read_lat_cycles"),
+                                     s.get(prefix + "reads")));
             } else if (ends_with(kCoverage)) {
                 // helper.coverage = hits / (hits + misses).
                 std::string prefix =

@@ -71,9 +71,18 @@ SystemConfig::summary() const
     // headers stay untouched.
     DramParams dflt{};
     if (dram.channels != dflt.channels ||
-        dram.channelPorts != dflt.channelPorts || dramFedLlcMshrs) {
+        dram.channelPorts != dflt.channelPorts || dramFedLlcMshrs ||
+        dram.rowModelOn() || dram.turnaroundOn() ||
+        dram.refreshIntervalCycles > 0) {
         os << " dram(ch=" << dram.channels << ",ports="
            << dram.channelPorts;
+        if (dram.rowModelOn())
+            os << ",rowbits=" << dram.rowBits;
+        if (dram.turnaroundOn())
+            os << ",turn=" << dram.turnaroundCycles;
+        if (dram.refreshIntervalCycles > 0)
+            os << ",refresh=" << dram.refreshIntervalCycles << "/"
+               << dram.refreshPenaltyCycles;
         if (dramFedLlcMshrs)
             os << ",fed-mshr";
         os << ")";

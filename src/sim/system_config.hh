@@ -85,6 +85,14 @@ struct SystemConfig
     bool garibaldiEnabled = false;
     GaribaldiParams garibaldi{};
 
+    /**
+     * DRAM geometry and timing (mem/dram.hh): channels/channelPorts
+     * plus the opt-in first-order DDR5 timing legs — rowBits (row-
+     * buffer hit/miss/conflict split), turnaroundCycles (read<->write
+     * bus turnaround) and refreshIntervalCycles/refreshPenaltyCycles
+     * (tREFI/tRFC blocking).  All timing legs default 0 = off, keeping
+     * output byte-identical to the flat-latency model.
+     */
     DramParams dram{};
     /**
      * Hold each LLC miss's bank MSHR entry until the DRAM channel's

@@ -131,6 +131,47 @@ SweepSpec::dramChannelPorts(const std::vector<std::uint32_t> &ports)
 }
 
 SweepSpec &
+SweepSpec::dramRowBits(const std::vector<std::uint32_t> &bits)
+{
+    SweepAxis ax{"rowbits", {}};
+    for (std::uint32_t b : bits)
+        ax.values.push_back({std::to_string(b), [b](SweepPoint &p) {
+                                 p.config.dram.rowBits = b;
+                             }});
+    return axis(std::move(ax));
+}
+
+SweepSpec &
+SweepSpec::dramTurnaround(const std::vector<Cycle> &cycles)
+{
+    SweepAxis ax{"turn", {}};
+    for (Cycle c : cycles)
+        ax.values.push_back({std::to_string(c), [c](SweepPoint &p) {
+                                 p.config.dram.turnaroundCycles = c;
+                             }});
+    return axis(std::move(ax));
+}
+
+SweepSpec &
+SweepSpec::dramRefresh(const std::vector<std::pair<Cycle, Cycle>> &windows)
+{
+    SweepAxis ax{"refresh", {}};
+    for (const auto &[interval, penalty] : windows) {
+        std::string label =
+            interval == 0 && penalty == 0
+                ? "off"
+                : std::to_string(interval) + "/" +
+                      std::to_string(penalty);
+        ax.values.push_back(
+            {std::move(label), [interval, penalty](SweepPoint &p) {
+                 p.config.dram.refreshIntervalCycles = interval;
+                 p.config.dram.refreshPenaltyCycles = penalty;
+             }});
+    }
+    return axis(std::move(ax));
+}
+
+SweepSpec &
 SweepSpec::llcSizeKb(const std::vector<std::uint64_t> &kb_per_core)
 {
     SweepAxis ax{"llc_kb", {}};

@@ -102,6 +102,16 @@ class SweepSpec
     /** Transfer slots per DRAM channel ("dramports"). */
     SweepSpec &
     dramChannelPorts(const std::vector<std::uint32_t> &ports);
+    /** DRAM row-buffer bits ("rowbits"; 0 = split off). */
+    SweepSpec &dramRowBits(const std::vector<std::uint32_t> &bits);
+    /** DRAM read<->write turnaround cycles ("turn"; 0 = off). */
+    SweepSpec &dramTurnaround(const std::vector<Cycle> &cycles);
+    /**
+     * DRAM refresh (tREFI, tRFC) cycle pairs ("refresh"; labels are
+     * "interval/penalty", "off" for the (0, 0) point).
+     */
+    SweepSpec &
+    dramRefresh(const std::vector<std::pair<Cycle, Cycle>> &windows);
     /** LLC capacity per core, in KB. */
     SweepSpec &llcSizeKb(const std::vector<std::uint64_t> &kb_per_core);
     SweepSpec &llcAssociativity(const std::vector<std::uint32_t> &ways);

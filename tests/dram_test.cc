@@ -6,6 +6,14 @@
  * multi-slot channel capacity, channel-mapping reductions, the
  * cumulative-vs-windowed queue-delay identity, DRAM-fed LLC MSHR
  * residency, and --jobs determinism with every new knob enabled.
+ *
+ * DDR5 timing-model suite: row-buffer hit/miss/conflict sequencing
+ * and the strict hit < miss < conflict latency ordering, read<->write
+ * turnaround charging (and idle-gap absorption), tREFI/tRFC refresh
+ * blocking (and row closing), knobs-off stat-surface/timing identity,
+ * the backfill completesAt == booked-slot-end bugfix pin (Dram level
+ * and through DRAM-fed LLC MSHR residency), and windowed recompute of
+ * the new raw counters.
  */
 
 #include <gtest/gtest.h>
@@ -171,6 +179,312 @@ TEST(Dram, BackfillUsesFreeSlotCapacity)
 }
 
 // --------------------------------------------------------------------
+// completesAt keys on the booked slot end (backfill bugfix)
+// --------------------------------------------------------------------
+
+TEST(Dram, BackfillCompletesAtIsBookedSlotEnd)
+{
+    DramParams p = oneChannel();
+    Dram d(p);
+    d.access(line(0), false, 10000); // slot busy until 10004
+    // The straggler's transfer books the wire 10004 -> 10008, but its
+    // charged queue is only the backlog past the high-water mark
+    // (4 cycles).  The old report keyed completesAt on now + queue +
+    // serviceCycles = 108 — releasing DRAM-fed MSHR entries almost
+    // 10k cycles before the wire time the slot vector committed to.
+    DramAccess r = d.request(line(1), false, 100);
+    ASSERT_TRUE(r.backfilled);
+    EXPECT_EQ(r.latency, p.baseLatency + 4);
+    EXPECT_EQ(r.completesAt, 10008u);
+
+    // A backfilled posted write books the next slot end the same way.
+    DramAccess w = d.request(line(2), true, 100);
+    ASSERT_TRUE(w.backfilled);
+    EXPECT_EQ(w.latency, 0u);
+    EXPECT_EQ(w.completesAt, 10012u);
+}
+
+TEST(Dram, BackfillCompletesAtNeverPrecedesDataReturn)
+{
+    // With free capacity behind the high-water mark the booked slot
+    // ends long before the device latency elapses: completesAt is the
+    // later of the two (data availability for reads).
+    DramParams p = oneChannel(4, 2);
+    Dram d(p);
+    d.access(line(0), false, 10000);
+    DramAccess r = d.request(line(1), false, 100);
+    ASSERT_TRUE(r.backfilled);
+    EXPECT_EQ(r.latency, p.baseLatency);
+    EXPECT_EQ(r.completesAt, 100 + p.baseLatency);
+}
+
+TEST(Dram, InOrderCompletesAtUnchanged)
+{
+    // The non-backfill report is the PR-4 identity: wire end for
+    // writes, now + latency for reads (device latency covers the
+    // service slot).
+    DramParams p = oneChannel();
+    Dram d(p);
+    DramAccess w = d.request(line(0), true, 100);
+    EXPECT_EQ(w.completesAt, 100 + p.serviceCycles);
+    DramAccess r = d.request(line(1), false, 100);
+    EXPECT_EQ(r.completesAt, 100 + r.latency);
+}
+
+// --------------------------------------------------------------------
+// Row-buffer hit/miss/conflict split
+// --------------------------------------------------------------------
+
+TEST(DramTiming, RowLegSequencingAndStrictOrdering)
+{
+    DramParams p = oneChannel();
+    p.rowBits = 2; // 4 lines per row
+    Dram d(p);
+    // Accesses spaced far apart so queue delay is zero and the
+    // returned latency is the pure device leg.
+    Cycle miss = d.access(line(0), false, 1000);   // closed: row miss
+    Cycle hit = d.access(line(1), false, 2000);    // same row: hit
+    Cycle hit2 = d.access(line(3), false, 3000);   // still row 0
+    Cycle conf = d.access(line(4), false, 4000);   // row 1: conflict
+    Cycle back = d.access(line(0), false, 5000);   // row 0 again
+    EXPECT_EQ(miss, p.rowMissLatency());
+    EXPECT_EQ(hit, p.rowHitLatency());
+    EXPECT_EQ(hit2, p.rowHitLatency());
+    EXPECT_EQ(conf, p.rowConflictLatency());
+    EXPECT_EQ(back, p.rowConflictLatency());
+    // The split is strict by construction: thirds of baseLatency.
+    EXPECT_LT(p.rowHitLatency(), p.rowMissLatency());
+    EXPECT_LT(p.rowMissLatency(), p.rowConflictLatency());
+    EXPECT_EQ(p.rowConflictLatency(), p.baseLatency);
+
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("row_hits"), 2.0);
+    EXPECT_EQ(s.get("row_misses"), 1.0);
+    EXPECT_EQ(s.get("row_conflicts"), 2.0);
+    EXPECT_EQ(s.get("row_accesses"), 5.0);
+    EXPECT_DOUBLE_EQ(s.get("row_hit_rate"), 2.0 / 5.0);
+    // Per-leg raw counters carry the device leg only (queue delay is
+    // reported orthogonally, so refresh stalls cannot invert the
+    // ordering).
+    EXPECT_EQ(s.get("row_hit_reads"), 2.0);
+    EXPECT_EQ(s.get("row_hit_lat_cycles"),
+              2.0 * static_cast<double>(p.rowHitLatency()));
+    EXPECT_EQ(s.get("row_miss_reads"), 1.0);
+    EXPECT_EQ(s.get("row_conflict_reads"), 2.0);
+    EXPECT_DOUBLE_EQ(s.get("avg_row_hit_latency"),
+                     static_cast<double>(p.rowHitLatency()));
+    EXPECT_LT(s.get("avg_row_hit_latency"),
+              s.get("avg_row_miss_latency"));
+    EXPECT_LT(s.get("avg_row_miss_latency"),
+              s.get("avg_row_conflict_latency"));
+    // The per-leg histograms saw the same reads.
+    EXPECT_EQ(d.rowLegLatency(Dram::kRowHit).count(), 2u);
+    EXPECT_EQ(d.rowLegLatency(Dram::kRowMiss).count(), 1u);
+    EXPECT_EQ(d.rowLegLatency(Dram::kRowConflict).count(), 2u);
+
+    // A queued same-row read pays queue + device end to end, but its
+    // queue lands in queued_cycles only — never in the leg book.
+    EXPECT_EQ(d.access(line(1), false, 5000),
+              p.serviceCycles + p.rowHitLatency());
+    StatSet s2 = d.stats();
+    EXPECT_EQ(s2.get("row_hit_lat_cycles"),
+              3.0 * static_cast<double>(p.rowHitLatency()));
+    EXPECT_EQ(s2.get("queued_cycles"), 4.0);
+    EXPECT_EQ(s2.get("read_lat_cycles"),
+              s2.get("row_hit_lat_cycles") +
+                  s2.get("row_miss_lat_cycles") +
+                  s2.get("row_conflict_lat_cycles") + 4.0);
+}
+
+TEST(DramTiming, WritesMoveRowStateButChargeNoLatency)
+{
+    DramParams p = oneChannel();
+    p.rowBits = 2;
+    Dram d(p);
+    // A posted write opens its row (it is a real column access) ...
+    EXPECT_EQ(d.access(line(0), true, 1000), 0u);
+    // ... so a later read of the same row is a hit, and a write to a
+    // different row closes it for the next reader.
+    EXPECT_EQ(d.access(line(1), false, 2000), p.rowHitLatency());
+    EXPECT_EQ(d.access(line(8), true, 3000), 0u);
+    EXPECT_EQ(d.access(line(2), false, 4000), p.rowConflictLatency());
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("row_accesses"), 4.0); // writes counted too
+    // Latency legs accumulate for reads only (writes return 0).
+    EXPECT_EQ(s.get("row_hit_reads") + s.get("row_miss_reads") +
+                  s.get("row_conflict_reads"),
+              2.0);
+}
+
+// --------------------------------------------------------------------
+// Read<->write turnaround
+// --------------------------------------------------------------------
+
+TEST(DramTiming, TurnaroundChargedOnDirectionFlip)
+{
+    DramParams p = oneChannel();
+    p.turnaroundCycles = 12;
+    Dram d(p);
+    // write -> read flip: the read's grant waits for the write's slot
+    // end plus the turnaround.
+    EXPECT_EQ(d.access(line(0), true, 100), 0u);
+    EXPECT_EQ(d.access(line(1), false, 100),
+              p.baseLatency + p.serviceCycles + p.turnaroundCycles);
+    // read -> read: no flip, plain FCFS behind the previous transfer.
+    EXPECT_EQ(d.access(line(2), false, 100),
+              p.baseLatency + 2 * p.serviceCycles + p.turnaroundCycles);
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("turnarounds"), 1.0);
+    EXPECT_EQ(s.get("turnaround_cycles"), 12.0);
+    // Turnaround stalls land inside the queue leg, so the
+    // queued-cycles identity holds unchanged.
+    EXPECT_DOUBLE_EQ(s.get("avg_queue_delay"),
+                     s.get("queued_cycles") /
+                         (s.get("reads") + s.get("writes")));
+}
+
+TEST(DramTiming, TurnaroundAbsorbedByIdleGap)
+{
+    DramParams p = oneChannel();
+    p.turnaroundCycles = 12;
+    Dram d(p);
+    d.access(line(0), true, 100);
+    // The bus flipped long ago relative to the idle gap: no stall.
+    EXPECT_EQ(d.access(line(1), false, 10000), p.baseLatency);
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("turnarounds"), 1.0); // the flip still happened
+    EXPECT_EQ(s.get("turnaround_cycles"), 0.0);
+}
+
+// --------------------------------------------------------------------
+// Refresh (tREFI/tRFC)
+// --------------------------------------------------------------------
+
+TEST(DramTiming, RefreshWindowBlocksChannel)
+{
+    DramParams p = oneChannel();
+    p.refreshIntervalCycles = 1000;
+    p.refreshPenaltyCycles = 100;
+    Dram d(p);
+    // Inside the window [1000, 1100): grant pushed to the window end.
+    EXPECT_EQ(d.access(line(0), false, 1050), p.baseLatency + 50);
+    // Exactly at a window start: the full tRFC.
+    EXPECT_EQ(d.access(line(1), false, 2000), p.baseLatency + 100);
+    // Between windows: untouched.
+    EXPECT_EQ(d.access(line(2), false, 2500), p.baseLatency);
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("refresh_blocked"), 2.0);
+    EXPECT_EQ(s.get("refresh_stall_cycles"), 150.0);
+    EXPECT_EQ(s.get("queued_cycles"), 150.0);
+}
+
+TEST(DramTiming, RefreshStallGrantedPastBlastIsRowMiss)
+{
+    // The refresh epoch is keyed on the *grant* instant: an access
+    // that ARRIVES before the tREFI boundary but is GRANTED after the
+    // blast finds its row precharged — it is charged a refresh stall
+    // and a row miss together, never a stalled "hit" on a row the
+    // blast already closed.
+    DramParams p = oneChannel(/*svc=*/100);
+    p.rowBits = 2;
+    p.refreshIntervalCycles = 1000;
+    p.refreshPenaltyCycles = 100;
+    Dram d(p);
+    EXPECT_EQ(d.access(line(0), false, 900), p.rowMissLatency());
+    // Same row, arrives at 950: the wire frees at 1000 — inside the
+    // refresh window — so the grant lands at 1100, past the blast.
+    EXPECT_EQ(d.access(line(1), false, 950),
+              150 + p.rowMissLatency());
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("refresh_blocked"), 1.0);
+    EXPECT_EQ(s.get("refresh_stall_cycles"), 100.0);
+    EXPECT_EQ(s.get("row_hits"), 0.0);
+    EXPECT_EQ(s.get("row_misses"), 2.0);
+}
+
+TEST(DramTiming, BackfillTurnaroundAbsorbedBySlack)
+{
+    // A backfilled flip books the bus-quiet time into the slot, but
+    // the stall stats stay requester-visible: the slack behind the
+    // arrival high-water mark absorbs the push exactly like an
+    // in-order idle gap, keeping turnaround_cycles a subset of
+    // queued_cycles on both paths.
+    DramParams p = oneChannel(4, 2);
+    p.turnaroundCycles = 12;
+    Dram d(p);
+    d.access(line(0), true, 10000); // write: slot 0, busDir = W
+    DramAccess r = d.request(line(1), false, 100); // flip, idle slot 1
+    ASSERT_TRUE(r.backfilled);
+    EXPECT_EQ(r.latency, p.baseLatency);
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("turnarounds"), 1.0); // the flip still happened
+    EXPECT_EQ(s.get("turnaround_cycles"), 0.0);
+    EXPECT_EQ(s.get("queued_cycles"), 0.0);
+}
+
+TEST(DramTiming, BackfillRefreshPushAbsorbedBySlack)
+{
+    // Same requester-visible discipline for refresh on the backfill
+    // path: the push books real wire displacement (visible through
+    // completesAt, the booked slot end) but charges no stall while it
+    // stays inside the slack behind the high-water mark.
+    DramParams p = oneChannel(4, 2);
+    p.refreshIntervalCycles = 1000;
+    p.refreshPenaltyCycles = 100;
+    Dram d(p);
+    d.access(line(0), false, 996);   // slot 0 busy until 1000
+    d.access(line(1), false, 10500); // slot 1; high-water mark 10500
+    // The straggler wins slot 0 whose horizon (1000) sits inside the
+    // refresh window [1000, 1100): the transfer books 1100..1104, yet
+    // the 10.5k-cycle slack absorbs the push — nobody waited.
+    DramAccess r = d.request(line(2), false, 100);
+    ASSERT_TRUE(r.backfilled);
+    EXPECT_EQ(r.latency, p.baseLatency);
+    EXPECT_EQ(r.completesAt, 1104u); // displaced wire time is booked
+    StatSet s = d.stats();
+    EXPECT_EQ(s.get("refresh_blocked"), 0.0);
+    EXPECT_EQ(s.get("refresh_stall_cycles"), 0.0);
+}
+
+TEST(DramTiming, RefreshClosesTheOpenRow)
+{
+    DramParams p = oneChannel();
+    p.rowBits = 2;
+    p.refreshIntervalCycles = 1000;
+    p.refreshPenaltyCycles = 100;
+    Dram d(p);
+    EXPECT_EQ(d.access(line(0), false, 900), p.rowMissLatency());
+    // Same row after the tREFI boundary: the blast precharged it, so
+    // this is a row miss again, not a hit (and at 1150 the window
+    // itself has already passed — pure row-close effect).
+    EXPECT_EQ(d.access(line(1), false, 1150), p.rowMissLatency());
+    EXPECT_EQ(d.stats().get("row_hits"), 0.0);
+    EXPECT_EQ(d.stats().get("row_misses"), 2.0);
+}
+
+// --------------------------------------------------------------------
+// Knobs-off identity (PR-4 behavior, stat surface included)
+// --------------------------------------------------------------------
+
+TEST(DramTiming, KnobsOffKeepFlatTimingAndStatSurface)
+{
+    DramParams p = oneChannel();
+    Dram d(p);
+    // Flat device latency, plain FCFS queue math — the PR-4 model.
+    EXPECT_EQ(d.access(line(0), true, 100), 0u);
+    EXPECT_EQ(d.access(line(1), false, 100),
+              p.baseLatency + p.serviceCycles);
+    EXPECT_EQ(d.access(line(2), false, 10000), p.baseLatency);
+    // No timing-leg stats leak into the exported surface.
+    StatSet s = d.stats();
+    for (const char *name :
+         {"row_hits", "row_misses", "row_conflicts", "row_accesses",
+          "row_hit_rate", "turnarounds", "turnaround_cycles",
+          "refresh_blocked", "refresh_stall_cycles"})
+        EXPECT_FALSE(s.has(name)) << name;
+}
+
+// --------------------------------------------------------------------
 // Channel mapping
 // --------------------------------------------------------------------
 
@@ -319,6 +633,76 @@ TEST(Hierarchy, DramFedMshrsBookChannelCompletion)
     EXPECT_EQ(legacy_ready, fed_ready + 8);
 }
 
+TEST(Hierarchy, DramFedMshrsHoldBackfilledFillsToBookedSlotEnd)
+{
+    // A backfilled fill's MSHR entry must live until the wire time the
+    // channel's slot vector actually committed to (the completesAt
+    // bugfix), not the request-path sum: core 0 books the single
+    // channel at t=10000 (slot ends 10004), core 1's straggler miss at
+    // t=100 backfills behind it — its fill occupies 10004..10008 and
+    // the bank MSHR entry is held until 10008 plus the 40-cycle array
+    // write.
+    MemoryHierarchy mem(contentionHier(/*dram_fed=*/true));
+    mem.access(load(0, 0x100000), 10000);
+    mem.access(load(1, 0x200000), 100);
+    EXPECT_EQ(mem.llc().pendingReady(0x200000, 100), 10008u + 40u);
+
+    // The legacy book keeps the request-path sum: far below the booked
+    // wire time (the pre-fix behavior, preserved byte-for-byte when
+    // dramFedLlcMshrs is off).
+    MemoryHierarchy legacy(contentionHier(/*dram_fed=*/false));
+    legacy.access(load(0, 0x100000), 10000);
+    legacy.access(load(1, 0x200000), 100);
+    EXPECT_LT(legacy.llc().pendingReady(0x200000, 100), 1000u);
+}
+
+// --------------------------------------------------------------------
+// Windowed recompute of the timing-model raw counters
+// --------------------------------------------------------------------
+
+TEST(DramTiming, WindowedRowStatsRecomputedFromCounters)
+{
+    SystemConfig cfg = defaultConfig(2);
+    cfg.coresPerL2 = 2;
+    cfg.dram.channels = 1;
+    cfg.dram.rowBits = 7;
+    cfg.dram.turnaroundCycles = 12;
+    cfg.dram.refreshIntervalCycles = 11700;
+    cfg.dram.refreshPenaltyCycles = 885;
+    ExperimentContext ctx(cfg, 2000, 4000);
+    SimResult r = ctx.runPolicy(PolicyKind::LRU, false,
+                                homogeneousMix("tpcc", 2));
+    EXPECT_GT(r.mem.get("dram.row_accesses"), 0.0);
+    // Every derived rate is rebuilt from the window's subtracted raw
+    // counters (a difference of ratios is not the ratio of
+    // differences).
+    EXPECT_DOUBLE_EQ(r.mem.get("dram.row_hit_rate"),
+                     safeRate(r.mem.get("dram.row_hits"),
+                              r.mem.get("dram.row_accesses")));
+    EXPECT_DOUBLE_EQ(r.mem.get("dram.avg_row_hit_latency"),
+                     safeRate(r.mem.get("dram.row_hit_lat_cycles"),
+                              r.mem.get("dram.row_hit_reads")));
+    EXPECT_DOUBLE_EQ(
+        r.mem.get("dram.avg_row_conflict_latency"),
+        safeRate(r.mem.get("dram.row_conflict_lat_cycles"),
+                 r.mem.get("dram.row_conflict_reads")));
+    EXPECT_DOUBLE_EQ(r.mem.get("dram.avg_read_latency"),
+                     safeRate(r.mem.get("dram.read_lat_cycles"),
+                              r.mem.get("dram.reads")));
+    // The acceptance ordering: whenever a leg saw reads, its device
+    // latency sits strictly between its neighbours'.
+    ASSERT_GT(r.mem.get("dram.row_hit_reads"), 0.0);
+    ASSERT_GT(r.mem.get("dram.row_conflict_reads"), 0.0);
+    EXPECT_LT(r.mem.get("dram.avg_row_hit_latency"),
+              r.mem.get("dram.avg_row_conflict_latency"));
+    if (r.mem.get("dram.row_miss_reads") > 0.0) {
+        EXPECT_LT(r.mem.get("dram.avg_row_hit_latency"),
+                  r.mem.get("dram.avg_row_miss_latency"));
+        EXPECT_LT(r.mem.get("dram.avg_row_miss_latency"),
+                  r.mem.get("dram.avg_row_conflict_latency"));
+    }
+}
+
 // --------------------------------------------------------------------
 // Determinism across --jobs with every new knob on
 // --------------------------------------------------------------------
@@ -359,6 +743,51 @@ TEST(DramSweep, JobsIndependenceWithDramKnobs)
     double best = r1.value({{"dramch", "2"}, {"dramports", "2"}},
                            "dram_queue_delay");
     EXPECT_GE(worst, best);
+}
+
+TEST(DramSweep, JobsIndependenceWithTimingKnobs)
+{
+    SystemConfig base = defaultConfig(2);
+    base.coresPerL2 = 2;
+    base.dramFedLlcMshrs = true;
+
+    SweepSpec spec(base);
+    spec.dramChannels({1, 2})
+        .dramRowBits({0, 7})
+        .dramTurnaround({12})
+        .dramRefresh({{0, 0}, {2000, 200}})
+        .mixes({homogeneousMix("tpcc", 2)});
+
+    ExperimentContext ctx(base, 1000, 2000);
+    SweepRunner runner(ctx);
+    SweepOptions opts;
+    opts.extraMetrics.push_back(
+        {"row_hit_rate", [](const SimResult &r, const SweepJob &) {
+             // rowbits=0 jobs export no row stats at all.
+             return r.mem.has("dram.row_hit_rate")
+                        ? r.mem.get("dram.row_hit_rate")
+                        : -1.0;
+         }});
+
+    opts.jobs = 1;
+    ResultsTable r1 = runner.run(spec, opts);
+    opts.jobs = 8;
+    ResultsTable r8 = runner.run(spec, opts);
+
+    EXPECT_EQ(r1.toCsv(), r8.toCsv());
+    EXPECT_EQ(r1.toJson(), r8.toJson());
+    ASSERT_EQ(r1.rowCount(), 8u);
+    // The stat surface follows the knobs: absent at rowbits=0,
+    // exported (and in [0, 1]) at rowbits=7.
+    EXPECT_EQ(r1.value({{"dramch", "1"}, {"rowbits", "0"},
+                        {"refresh", "off"}},
+                       "row_hit_rate"),
+              -1.0);
+    double rate = r1.value({{"dramch", "1"}, {"rowbits", "7"},
+                            {"refresh", "2000/200"}},
+                           "row_hit_rate");
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
 }
 
 } // namespace
