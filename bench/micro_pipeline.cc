@@ -8,9 +8,11 @@
  * runs and build revisions.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "common/rng.hh"
 #include "mem/hierarchy.hh"
@@ -83,20 +85,33 @@ measure(std::uint32_t cores, std::uint32_t llc_banks,
     MemoryHierarchy mem(h);
     Pcg32 rng(42, 7);
 
-    // Warm the structures so steady-state behavior dominates.
+    // Accesses are generated into a chunk and handed to the hierarchy
+    // in one submitBatch call — same access/now sequence as the
+    // per-access loop (submitBatch is pinned byte-identical to it), one
+    // hierarchy crossing per chunk.
+    constexpr std::size_t kBatch = 64;
+    std::vector<TimedAccess> batch(kBatch);
     Cycle now = 0;
-    for (std::uint64_t i = 0; i < accesses / 8; ++i) {
-        CoreId core = static_cast<CoreId>(i % cores);
-        mem.access(nextAccess(rng, core), now);
-        now += 2;
-    }
+    auto drive = [&](std::uint64_t total) {
+        for (std::uint64_t i = 0; i < total;) {
+            std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kBatch, total - i));
+            for (std::size_t j = 0; j < n; ++j) {
+                batch[j].acc = nextAccess(
+                    rng, static_cast<CoreId>((i + j) % cores));
+                batch[j].now = now;
+                now += 2;
+            }
+            mem.submitBatch(batch.data(), n);
+            i += n;
+        }
+    };
+
+    // Warm the structures so steady-state behavior dominates.
+    drive(accesses / 8);
 
     auto start = std::chrono::steady_clock::now();
-    for (std::uint64_t i = 0; i < accesses; ++i) {
-        CoreId core = static_cast<CoreId>(i % cores);
-        mem.access(nextAccess(rng, core), now);
-        now += 2;
-    }
+    drive(accesses);
     auto stop = std::chrono::steady_clock::now();
     double secs = std::chrono::duration<double>(stop - start).count();
     return static_cast<double>(accesses) / secs;
@@ -120,5 +135,8 @@ main(int argc, char **argv)
         double rate = measure(8, banks, accesses);
         std::printf("%-8u %-10u %16.0f\n", 8u, banks, rate);
     }
+    // The headline 16-core mix CI archives and floors.
+    double rate16 = measure(16, 1, accesses);
+    std::printf("%-8u %-10u %16.0f\n", 16u, 1u, rate16);
     return 0;
 }

@@ -55,6 +55,40 @@ BM_CacheMissInsert(benchmark::State &state)
 }
 BENCHMARK(BM_CacheMissInsert);
 
+/**
+ * Per-policy access+insert churn: one row per PolicyKind so a hot-path
+ * regression in a single policy's dispatch, victim scan or training
+ * hooks shows up against its own baseline instead of being averaged
+ * into a mixed number.
+ */
+void
+BM_PolicyChurn(benchmark::State &state, PolicyKind kind)
+{
+    CacheParams p;
+    p.sizeBytes = 1024 * 1024;
+    p.assoc = 16;
+    p.policy = kind;
+    Cache cache(p);
+    Pcg32 rng(7, 11);
+    MemAccess a;
+    for (auto _ : state) {
+        // Bounded footprint: enough lines to churn every set, enough
+        // reuse that hit paths (onHit/promote) run too.
+        a.paddr = Addr{rng.next() & 0x3ffff} << kLineShift;
+        a.pc = 0x400000 + (rng.next() & 0xfffc);
+        if (!cache.access(a))
+            cache.insert(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_PolicyChurn, lru, PolicyKind::LRU);
+BENCHMARK_CAPTURE(BM_PolicyChurn, random, PolicyKind::Random);
+BENCHMARK_CAPTURE(BM_PolicyChurn, srrip, PolicyKind::SRRIP);
+BENCHMARK_CAPTURE(BM_PolicyChurn, drrip, PolicyKind::DRRIP);
+BENCHMARK_CAPTURE(BM_PolicyChurn, ship, PolicyKind::SHiP);
+BENCHMARK_CAPTURE(BM_PolicyChurn, hawkeye, PolicyKind::Hawkeye);
+BENCHMARK_CAPTURE(BM_PolicyChurn, mockingjay, PolicyKind::Mockingjay);
+
 void
 BM_PairTableUpdate(benchmark::State &state)
 {

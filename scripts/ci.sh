@@ -169,15 +169,55 @@ EOF
 cat "$build/BENCH_dram_timing.json"
 
 echo "== hot-path throughput (accesses/sec; track across PRs) =="
+# Keep the previous run's archive (if any) around for the regression
+# warning below before this run overwrites it.
+prev_rate16=""
+if [ -f "$build/BENCH_micro_pipeline.json" ]; then
+  prev_rate16=$(awk -F'[:,]' '/"accesses_per_sec_16core"/ {gsub(/ /,"",$2); print $2}' \
+                "$build/BENCH_micro_pipeline.json")
+fi
 "$build/micro_pipeline" --quick | tee "$build/micro_pipeline.txt"
 rate=$(awk '$1 == 8 && $2 == 1 {print $3}' "$build/micro_pipeline.txt")
+rate16=$(awk '$1 == 16 && $2 == 1 {print $3}' "$build/micro_pipeline.txt")
 cat > "$build/BENCH_micro_pipeline.json" <<EOF
 {
   "bench": "micro_pipeline",
-  "config": "8 cores, 1 llc bank, --quick",
-  "accesses_per_sec": ${rate:-0}
+  "config": "--quick; 8-core/1-bank row + 16-core/1-bank headline row",
+  "accesses_per_sec": ${rate:-0},
+  "accesses_per_sec_16core": ${rate16:-0}
 }
 EOF
 cat "$build/BENCH_micro_pipeline.json"
+
+# Throughput-regression guard: the hard floor is the seed revision's
+# measured rate (scripts/perf_floors.json, committed); dropping below
+# it fails CI.  Falling short of the previous archived run only warns —
+# run-to-run noise on shared hosts is real, a trend is not a cliff.
+floor=$(awk -F'[:,]' '/"micro_pipeline_16core_floor"/ {gsub(/ /,"",$2); print $2}' \
+        "$repo/scripts/perf_floors.json")
+if [ -z "${rate16:-}" ]; then
+  echo "FAIL: micro_pipeline printed no 16-core/1-bank headline row"
+  exit 1
+fi
+if awk "BEGIN{exit !(${rate16} < ${floor:-660000})}"; then
+  echo "FAIL: micro_pipeline 16-core rate ${rate16} below seed floor ${floor:-660000}"
+  exit 1
+fi
+echo "micro_pipeline 16-core rate ${rate16} >= seed floor ${floor:-660000}"
+if [ -n "$prev_rate16" ] && awk "BEGIN{exit !(${rate16} < ${prev_rate16})}"; then
+  echo "WARN: micro_pipeline 16-core rate ${rate16} below previous archived ${prev_rate16}"
+fi
+
+# Per-structure microbenchmarks (google-benchmark; optional dep): the
+# per-policy churn rows give every PolicyKind its own baseline.
+if [ -x "$build/micro_structures" ]; then
+  echo "== per-structure microbenchmarks =="
+  "$build/micro_structures" --benchmark_min_time=0.05 \
+      --benchmark_format=json > "$build/BENCH_micro_structures.json"
+  awk -F'"' '/"name"/ {print $4}' "$build/BENCH_micro_structures.json" \
+      | sed 's/^/  archived: /'
+else
+  echo "micro_structures not built (google-benchmark missing); skipping"
+fi
 
 echo "CI OK"

@@ -85,8 +85,10 @@ Cache::Cache(const CacheParams &params_)
         fatal(params.name, ": instruction partition (",
               params.instrPartitionWays, " ways) must leave data ways");
     linesArr.resize(lines);
+    probeTags.assign(lines, kInvalidProbeTag);
     repl = makePolicy(params.policy, nSets, params.assoc,
                       params.policyParams);
+    pol.bind(params.policy, repl.get());
     if (params.bankServiceCycles > 0) {
         if (params.bankPorts == 0)
             fatal(params.name, ": bankPorts must be non-zero when the "
@@ -177,15 +179,39 @@ Cache::lineAt(std::uint32_t set, std::uint32_t way) const
     return linesArr[std::size_t{set} * params.assoc + way];
 }
 
+std::uint32_t
+Cache::probeWay(std::uint32_t set, Addr tag) const
+{
+    const Addr *base = &probeTags[std::size_t{set} * params.assoc];
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        if (base[w] == tag)
+            return w;
+    }
+    return params.assoc;
+}
+
+std::uint32_t
+Cache::probeWayAndInvalid(std::uint32_t set, Addr tag,
+                          std::uint32_t &first_invalid) const
+{
+    const Addr *base = &probeTags[std::size_t{set} * params.assoc];
+    first_invalid = params.assoc;
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        if (base[w] == tag)
+            return w;
+        if (base[w] == kInvalidProbeTag && first_invalid == params.assoc)
+            first_invalid = w;
+    }
+    return params.assoc;
+}
+
 CacheLine *
 Cache::findInSet(std::uint32_t set, Addr tag)
 {
-    CacheLine *base = &linesArr[std::size_t{set} * params.assoc];
-    for (std::uint32_t w = 0; w < params.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
+    std::uint32_t w = probeWay(set, tag);
+    if (w == params.assoc)
+        return nullptr;
+    return &linesArr[std::size_t{set} * params.assoc + w];
 }
 
 CacheLine *
@@ -215,16 +241,17 @@ Cache::access(const MemAccess &acc)
 
     // One tag scan serves both the residency question the policy's
     // training hook asks and the hit path itself.
-    CacheLine *base = &linesArr[std::size_t{set} * params.assoc];
-    CacheLine *line = findInSet(set, tag);
-    std::uint32_t way =
-        line ? static_cast<std::uint32_t>(line - base) : 0;
+    std::uint32_t way = probeWay(set, tag);
+    CacheLine *line =
+        way < params.assoc
+            ? &linesArr[std::size_t{set} * params.assoc + way]
+            : nullptr;
 
     if (!acc.isPrefetch) {
         ++stat.accesses;
         if (acc.isInstr)
             ++stat.instrAccesses;
-        repl->onAccess(set, acc, line != nullptr);
+        pol.onAccess(set, acc, line != nullptr);
     }
 
     // Fig. 3(d) I-oracle: instructions always hit after first access and
@@ -253,7 +280,7 @@ Cache::access(const MemAccess &acc)
                 line->prefetched = false;
                 ++stat.prefetchUseful;
             }
-            repl->onHit(set, way, acc);
+            pol.onHit(set, way, acc);
             line->lastUse = ++useTick;
             line->owner = acc.core;
             if (acc.isWrite)
@@ -295,16 +322,16 @@ Cache::pickPartitionVictim(std::uint32_t set, bool instr_class)
 
 std::uint32_t
 Cache::pickVictim(std::uint32_t set, const MemAccess &acc,
-                  bool instr_class)
+                  bool instr_class, std::uint32_t first_invalid)
 {
     if (params.instrPartitionWays > 0)
         return pickPartitionVictim(set, instr_class);
 
-    for (std::uint32_t w = 0; w < params.assoc; ++w)
-        if (!frame(set, w).valid)
-            return w;
+    // Invalid way found by the caller's fused residency scan.
+    if (first_invalid < params.assoc)
+        return first_invalid;
 
-    std::uint32_t way = repl->victim(set, acc);
+    std::uint32_t way = pol.victim(set, acc);
     if (!companion)
         return way;
 
@@ -322,10 +349,10 @@ Cache::pickVictim(std::uint32_t set, const MemAccess &acc,
         if (!companion->shouldProtect(cand.tag << kLineShift))
             break;
         ++stat.qbsProtections;
-        repl->promote(set, way);
+        pol.promote(set, way);
         cand.lastUse = ++useTick;
         ++attempts;
-        way = repl->victim(set, acc);
+        way = pol.victim(set, acc);
     }
     return way;
 }
@@ -338,14 +365,21 @@ Cache::insert(const MemAccess &acc, bool dirty, bool critical)
     if (params.instrOracle && acc.isInstr)
         return {}; // oracle instructions never occupy the arrays
 
-    if (CacheLine *resident = findLine(line_addr)) {
+    std::uint32_t set = setOf(line_addr);
+    Addr tag = lineNumber(line_addr);
+
+    // One fused scan answers both insert-path questions: is the line
+    // already resident, and which way is free if not.
+    std::uint32_t first_invalid;
+    std::uint32_t resident_way = probeWayAndInvalid(set, tag,
+                                                    first_invalid);
+    if (resident_way < params.assoc) {
         // Already present (e.g. writeback into a still-resident line or
         // a prefetch racing a demand fill): just merge status bits.
-        resident->dirty = resident->dirty || dirty || acc.isWrite;
+        CacheLine &resident = frame(set, resident_way);
+        resident.dirty = resident.dirty || dirty || acc.isWrite;
         return {};
     }
-
-    std::uint32_t set = setOf(line_addr);
 
     // Partition admission: only critical instruction lines may claim
     // the instruction region when the Emissary-style filter is on.
@@ -354,7 +388,7 @@ Cache::insert(const MemAccess &acc, bool dirty, bool critical)
     if (params.instrPartitionWays > 0 && instr_class)
         ++stat.partitionInstrInserts;
 
-    std::uint32_t way = pickVictim(set, acc, instr_class);
+    std::uint32_t way = pickVictim(set, acc, instr_class, first_invalid);
     CacheLine &l = frame(set, way);
 
     Eviction ev;
@@ -368,7 +402,7 @@ Cache::insert(const MemAccess &acc, bool dirty, bool critical)
             ++stat.instrEvictions;
         if (ev.dirty)
             ++stat.writebacksOut;
-        repl->onEvict(set, way);
+        pol.onEvict(set, way);
         if (companion)
             companion->observeEvict(ev.lineAddr, ev.isInstr);
     }
@@ -380,7 +414,8 @@ Cache::insert(const MemAccess &acc, bool dirty, bool critical)
     l.prefetched = acc.isPrefetch;
     l.lastUse = ++useTick;
     l.owner = acc.core;
-    repl->onInsert(set, way, acc);
+    probeTags[std::size_t{set} * params.assoc + way] = l.tag;
+    pol.onInsert(set, way, acc);
     if (acc.isPrefetch)
         ++stat.prefetchInserts;
     if (companion)
@@ -401,18 +436,17 @@ Cache::invalidate(Addr line_addr)
     line_addr = lineAlign(line_addr);
     std::uint32_t set = setOf(line_addr);
     Addr tag = lineNumber(line_addr);
-    for (std::uint32_t w = 0; w < params.assoc; ++w) {
-        CacheLine &l = frame(set, w);
-        if (l.valid && l.tag == tag) {
-            bool was_dirty = l.dirty;
-            repl->onEvict(set, w);
-            if (companion)
-                companion->observeEvict(line_addr, l.isInstr);
-            l.invalidate();
-            return was_dirty;
-        }
-    }
-    return false;
+    std::uint32_t w = probeWay(set, tag);
+    if (w == params.assoc)
+        return false;
+    CacheLine &l = frame(set, w);
+    bool was_dirty = l.dirty;
+    pol.onEvict(set, w);
+    if (companion)
+        companion->observeEvict(line_addr, l.isInstr);
+    l.invalidate();
+    probeTags[std::size_t{set} * params.assoc + w] = kInvalidProbeTag;
+    return was_dirty;
 }
 
 void

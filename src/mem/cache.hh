@@ -22,6 +22,7 @@
 #include "mem/cache_line.hh"
 #include "mem/flat_tables.hh"
 #include "mem/llc_companion.hh"
+#include "mem/policy/dispatch.hh"
 #include "mem/policy/replacement.hh"
 #include "mem/request.hh"
 
@@ -224,20 +225,46 @@ class Cache
     std::uint32_t setOf(Addr line_addr) const;
 
   private:
+    /** Sentinel for an invalid frame in the probe array (line numbers
+     *  are < 2^58, so it can never collide with a real tag). */
+    static constexpr Addr kInvalidProbeTag = ~Addr{0};
+
     Cycle reserveSlot(std::vector<Cycle> &busy_until, Cycle at,
                       Cycle issued, std::uint64_t &queue_cycles);
+    /** Way of @p tag in @p set, or assoc when absent (probe array). */
+    std::uint32_t probeWay(std::uint32_t set, Addr tag) const;
+    /**
+     * Fused insert-path scan: one pass over the set's probe row finds
+     * the resident way of @p tag (or assoc) and, in the same pass, the
+     * lowest invalid way (or assoc) via @p first_invalid — the
+     * residency check and the invalid-way victim scan share the scan.
+     */
+    std::uint32_t probeWayAndInvalid(std::uint32_t set, Addr tag,
+                                     std::uint32_t &first_invalid) const;
     CacheLine *findInSet(std::uint32_t set, Addr tag);
     CacheLine *findLine(Addr line_addr);
     const CacheLine *findLine(Addr line_addr) const;
     CacheLine &frame(std::uint32_t set, std::uint32_t way);
     std::uint32_t pickVictim(std::uint32_t set, const MemAccess &acc,
-                             bool instr_class);
+                             bool instr_class,
+                             std::uint32_t first_invalid);
     std::uint32_t pickPartitionVictim(std::uint32_t set, bool instr_class);
 
     CacheParams params;
     std::uint32_t nSets;
     std::vector<CacheLine> linesArr;
+    /**
+     * SoA probe metadata: per-frame line-number tag, kInvalidProbeTag
+     * when the frame is invalid.  The per-access tag scan and the
+     * invalid-way scan touch only this array (one or two host cache
+     * lines per set) instead of striding over CacheLine structs;
+     * linesArr stays authoritative for everything else (lineAt, dirty
+     * bits, eviction metadata).
+     */
+    std::vector<Addr> probeTags;
     std::unique_ptr<ReplacementPolicy> repl;
+    /** Devirtualized hot-path view of *repl (same object). */
+    PolicyDispatch pol;
     CacheStats stat;
     LlcCompanion *companion = nullptr;
     Cycle qbsCycles = 0;

@@ -18,7 +18,10 @@
 #ifndef GARIBALDI_MEM_FLAT_TABLES_HH
 #define GARIBALDI_MEM_FLAT_TABLES_HH
 
+#include <algorithm>
 #include <cstddef>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/intmath.hh"
@@ -54,14 +57,27 @@ tableCapacity(std::size_t expected)
  * The simulator bounds cross-core clock skew to a few thousand cycles,
  * so no core can still observe such an entry as in flight and the sweep
  * is behavior-neutral.
+ *
+ * Expiry is a lazy min-heap of (ready, key) records: set() pushes one
+ * record per booking and never edits old ones, and pruneExpired() pops
+ * records whose time has come, tombstoning the table entry only when
+ * the record still matches it (a refresh, erase or compact leaves a
+ * stale record behind, which the pop just skips).  Every (key, ready)
+ * pair in the table has a matching record, so draining the heap to
+ * @c now leaves the table holding exactly the fills still in flight —
+ * an O(log n) push per booking instead of a capacity-wide sweep per
+ * query, which matters because steady-state occupancy (every miss
+ * books, MSHR pressure notwithstanding) runs well past the MSHR count.
  */
 class PendingTable
 {
   public:
     explicit PendingTable(std::size_t expected)
         : keys(flat::tableCapacity(expected), flat::kEmptyKey),
-          ready(flat::tableCapacity(expected), 0)
+          ready(flat::tableCapacity(expected), 0),
+          baseCap(keys.size())
     {
+        expiry.reserve(keys.size() * 4);
     }
 
     /** Record (or refresh) an in-flight fill of @p key. */
@@ -78,7 +94,7 @@ class PendingTable
         while (true) {
             if (keys[i] == key) {
                 ready[i] = ready_at;
-                return;
+                break;
             }
             if (keys[i] == flat::kEmptyKey) {
                 if (first_tomb != keys.size()) {
@@ -88,12 +104,19 @@ class PendingTable
                 keys[i] = key;
                 ready[i] = ready_at;
                 ++filled;
-                return;
+                break;
             }
             if (keys[i] == flat::kTombKey && first_tomb == keys.size())
                 first_tomb = i;
             i = (i + 1) & mask;
         }
+        expiry.emplace_back(ready_at, key);
+        std::push_heap(expiry.begin(), expiry.end(), std::greater<>{});
+        // Stale records (refreshes, erases, compact drops) accumulate
+        // when the owner rarely prunes; rebuild from the live table
+        // before they dominate.
+        if (expiry.size() > keys.size() * 4)
+            rebuildExpiry();
     }
 
     /** Ready cycle of @p key, or 0 when no fill is in flight. */
@@ -129,15 +152,32 @@ class PendingTable
         }
     }
 
-    /** Drop every entry whose ready time has passed @p now. */
+    /**
+     * Drop every entry whose ready time has passed @p now: pop expiry
+     * records due by @p now and tombstone each one that still matches
+     * its table entry (mismatches are stale records of a booking that
+     * was since refreshed, erased or dropped — skipped).
+     */
     void
     pruneExpired(Cycle now)
     {
-        for (std::size_t i = 0; i < keys.size(); ++i) {
-            if (keys[i] < flat::kTombKey && ready[i] <= now) {
-                keys[i] = flat::kTombKey;
-                --filled;
-                ++tombs;
+        while (!expiry.empty() && expiry.front().first <= now) {
+            std::pop_heap(expiry.begin(), expiry.end(),
+                          std::greater<>{});
+            auto [r, k] = expiry.back();
+            expiry.pop_back();
+            std::size_t mask = keys.size() - 1;
+            std::size_t i = static_cast<std::size_t>(mix64(k)) & mask;
+            while (keys[i] != flat::kEmptyKey) {
+                if (keys[i] == k) {
+                    if (ready[i] == r) {
+                        keys[i] = flat::kTombKey;
+                        --filled;
+                        ++tombs;
+                    }
+                    break;
+                }
+                i = (i + 1) & mask;
             }
         }
     }
@@ -145,9 +185,19 @@ class PendingTable
     std::size_t size() const { return filled; }
 
   private:
-    /** Expired-entry slack before the sweep may drop an entry (far
-     *  beyond any cross-core skew the simulator can produce). */
-    static constexpr Cycle kExpirySlack = Cycle{1} << 22;
+    /**
+     * Expired-entry slack before compact() may drop an entry.
+     * Dropping is invisible only while no later query's clock can
+     * precede the dropped entry's ready time: a query can trail the
+     * watermark (the newest booked completion) by a full fill latency
+     * plus cross-core skew, and under saturated-contention sweeps that
+     * tail reaches tens of thousands of cycles — a 64k horizon was
+     * observed to flip pendingReady() answers on the 16-core banked
+     * contention mix.  4M cycles is far beyond any latency the timing
+     * model can produce.  (Routine cleanup is pruneExpired(), which is
+     * exact; this slack only gates the compaction fallback.)
+     */
+    static constexpr Cycle kExpirySlack = Cycle{1} << 18;
 
     void
     compact()
@@ -163,6 +213,9 @@ class PendingTable
         std::size_t cap = keys.size();
         if ((live + 1) * 4 >= cap * 3)
             cap <<= 1;
+        else
+            while (cap > baseCap && (live + 1) * 8 <= cap)
+                cap >>= 1;
 
         std::vector<Addr> old_keys(cap, flat::kEmptyKey);
         std::vector<Cycle> old_ready(cap, 0);
@@ -184,8 +237,22 @@ class PendingTable
         }
     }
 
+    /** Rebuild the expiry heap to exactly the table's live pairs. */
+    void
+    rebuildExpiry()
+    {
+        expiry.clear();
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            if (keys[i] < flat::kTombKey)
+                expiry.emplace_back(ready[i], keys[i]);
+        std::make_heap(expiry.begin(), expiry.end(), std::greater<>{});
+    }
+
     std::vector<Addr> keys;
     std::vector<Cycle> ready;
+    /** Min-heap of (ready, key) bookings; may hold stale records. */
+    std::vector<std::pair<Cycle, Addr>> expiry;
+    std::size_t baseCap;      //!< construction capacity (shrink floor)
     std::size_t filled = 0;
     std::size_t tombs = 0;
     Cycle watermark = 0;
@@ -335,6 +402,17 @@ class FlatLineMap
     }
 
     std::size_t size() const { return filled; }
+
+    /** Visit every live (key, value) pair; iteration order is the slot
+     *  order, which callers must not depend on. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            if (keys[i] < flat::kTombKey)
+                fn(keys[i], values[i]);
+    }
 
   private:
     void

@@ -83,6 +83,18 @@ MemoryHierarchy::access(const MemAccess &acc, Cycle now)
 }
 
 void
+MemoryHierarchy::submitBatch(const TimedAccess *batch, std::size_t count,
+                             AccessOutcome *outcomes)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        Transaction txn(batch[i].acc, batch[i].now);
+        execute(txn);
+        if (outcomes)
+            outcomes[i] = txn.outcome();
+    }
+}
+
+void
 MemoryHierarchy::execute(Transaction &txn)
 {
     txn.cluster = clusterOf(txn.req.core);

@@ -88,6 +88,17 @@ class MemoryHierarchy
     /** Service a demand access; returns the load-to-use outcome. */
     AccessOutcome access(const MemAccess &acc, Cycle now);
 
+    /**
+     * Service @p count demand accesses in submission order — exactly
+     * equivalent to calling access() on each element in turn (pinned by
+     * the batch-identity unit test); the batch entry exists so drivers
+     * with a ready run of accesses amortize the per-call overhead into
+     * one hierarchy crossing.  When @p outcomes is non-null it receives
+     * one entry per element.
+     */
+    void submitBatch(const TimedAccess *batch, std::size_t count,
+                     AccessOutcome *outcomes = nullptr);
+
     /** Run @p txn through the staged pipeline. */
     void execute(Transaction &txn);
 

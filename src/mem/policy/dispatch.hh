@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Devirtualized replacement-policy dispatch for the cache hot path.
+ *
+ * Cache calls its policy's six hooks on every access; routing them
+ * through ReplacementPolicy's vtable costs an indirect call per hook
+ * and blocks inlining of the trivial ones (LRU stamps, RRIP counters).
+ * PolicyDispatch carries the PolicyKind next to the pointer and
+ * switches on it, invoking each hook as a *qualified* (non-virtual)
+ * member call on the concrete class, which the compiler can inline.
+ *
+ * Correctness leans on makePolicy's guarantee that the object's dynamic
+ * type matches its kind — Cache builds both from the same CacheParams.
+ * SRRIP's qualified calls stay valid for kind == SRRIP even though
+ * SrripPolicy is a base of DRRIP/SHiP: those kinds take their own
+ * switch arm.  The virtual interface remains intact for tests and
+ * monitors (Cache::policy()); anything mutated through it is the same
+ * object this dispatcher reads.
+ */
+
+#ifndef GARIBALDI_MEM_POLICY_DISPATCH_HH
+#define GARIBALDI_MEM_POLICY_DISPATCH_HH
+
+#include "mem/policy/hawkeye.hh"
+#include "mem/policy/lru.hh"
+#include "mem/policy/mockingjay.hh"
+#include "mem/policy/random.hh"
+#include "mem/policy/replacement.hh"
+#include "mem/policy/rrip.hh"
+#include "mem/policy/ship.hh"
+
+namespace garibaldi
+{
+
+/** Switch-on-kind dispatcher over a policy instance. */
+class PolicyDispatch
+{
+  public:
+    PolicyDispatch() = default;
+
+    /** Point the dispatcher at @p policy of dynamic type @p k. */
+    void
+    bind(PolicyKind k, ReplacementPolicy *policy)
+    {
+        kind = k;
+        ptr = policy;
+    }
+
+// One arm per kind; the qualified call devirtualizes (and inlines) the
+// hook.  The fall-through after the switch keeps any future kind
+// working through the vtable until it gets an arm.
+#define GARIBALDI_POLICY_DISPATCH(CALL)                                 \
+    switch (kind) {                                                     \
+      case PolicyKind::LRU:                                             \
+        return static_cast<LruPolicy *>(ptr)->LruPolicy::CALL;          \
+      case PolicyKind::Random:                                          \
+        return static_cast<RandomPolicy *>(ptr)->RandomPolicy::CALL;    \
+      case PolicyKind::SRRIP:                                           \
+        return static_cast<SrripPolicy *>(ptr)->SrripPolicy::CALL;      \
+      case PolicyKind::DRRIP:                                           \
+        return static_cast<DrripPolicy *>(ptr)->DrripPolicy::CALL;      \
+      case PolicyKind::SHiP:                                            \
+        return static_cast<ShipPolicy *>(ptr)->ShipPolicy::CALL;        \
+      case PolicyKind::Hawkeye:                                         \
+        return static_cast<HawkeyePolicy *>(ptr)->HawkeyePolicy::CALL;  \
+      case PolicyKind::Mockingjay:                                      \
+        return static_cast<MockingjayPolicy *>(ptr)                     \
+            ->MockingjayPolicy::CALL;                                   \
+    }                                                                   \
+    return ptr->CALL
+
+    void
+    onAccess(std::uint32_t set, const MemAccess &acc, bool hit)
+    {
+        GARIBALDI_POLICY_DISPATCH(onAccess(set, acc, hit));
+    }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way, const MemAccess &acc)
+    {
+        GARIBALDI_POLICY_DISPATCH(onHit(set, way, acc));
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, const MemAccess &acc)
+    {
+        GARIBALDI_POLICY_DISPATCH(victim(set, acc));
+    }
+
+    void
+    onInsert(std::uint32_t set, std::uint32_t way, const MemAccess &acc)
+    {
+        GARIBALDI_POLICY_DISPATCH(onInsert(set, way, acc));
+    }
+
+    void
+    promote(std::uint32_t set, std::uint32_t way)
+    {
+        GARIBALDI_POLICY_DISPATCH(promote(set, way));
+    }
+
+    void
+    onEvict(std::uint32_t set, std::uint32_t way)
+    {
+        GARIBALDI_POLICY_DISPATCH(onEvict(set, way));
+    }
+
+#undef GARIBALDI_POLICY_DISPATCH
+
+  private:
+    PolicyKind kind = PolicyKind::LRU;
+    ReplacementPolicy *ptr = nullptr;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_MEM_POLICY_DISPATCH_HH

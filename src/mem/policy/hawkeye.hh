@@ -21,7 +21,7 @@ namespace garibaldi
 {
 
 /** Hawkeye replacement. */
-class HawkeyePolicy : public ReplacementPolicy
+class HawkeyePolicy final : public ReplacementPolicy
 {
   public:
     HawkeyePolicy(std::uint32_t num_sets, std::uint32_t assoc,

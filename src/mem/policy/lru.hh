@@ -14,7 +14,7 @@ namespace garibaldi
 {
 
 /** Exact LRU via monotonic per-cache ticks. */
-class LruPolicy : public ReplacementPolicy
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);

@@ -11,16 +11,16 @@
 #ifndef GARIBALDI_MEM_POLICY_MOCKINGJAY_HH
 #define GARIBALDI_MEM_POLICY_MOCKINGJAY_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "mem/flat_tables.hh"
 #include "mem/policy/replacement.hh"
 
 namespace garibaldi
 {
 
 /** Mockingjay replacement. */
-class MockingjayPolicy : public ReplacementPolicy
+class MockingjayPolicy final : public ReplacementPolicy
 {
   public:
     MockingjayPolicy(std::uint32_t num_sets, std::uint32_t assoc,
@@ -52,18 +52,28 @@ class MockingjayPolicy : public ReplacementPolicy
     bool isSampled(std::uint32_t set) const;
     void train(std::size_t sig, std::uint32_t observed);
 
-    /** Sampled-cache entry: who touched this tag last and when. */
-    struct SampleEntry
-    {
-        std::uint32_t pcSig = 0;
-        std::uint64_t timestamp = 0;
-    };
-
+    /**
+     * Sampled cache of one sampled set: an open-addressed SoA table
+     * (line number → last PC signature + timestamp) with the
+     * flat_tables sentinel/tombstone scheme.  Capacity is fixed at
+     * construction — occupancy is bounded by historyLen + 1 — and
+     * arrays are allocated on the set's first access.  Replaces the
+     * per-set unordered_map: identical find/insert/stalest-evict
+     * semantics (timestamps are unique within a set, so the stalest
+     * entry is order-independent), no node allocation.
+     */
     struct SampledSet
     {
-        std::unordered_map<Addr, SampleEntry> entries;
+        std::vector<Addr> keys;
+        std::vector<std::uint32_t> pcSigs;
+        std::vector<std::uint64_t> stamps;
+        std::uint32_t filled = 0;
+        std::uint32_t tombs = 0;
         std::uint64_t tick = 0;
     };
+
+    /** Drop @p ss's tombstones by re-inserting the live entries. */
+    void rehashSample(SampledSet &ss) const;
 
     struct LineState
     {
@@ -92,7 +102,9 @@ class MockingjayPolicy : public ReplacementPolicy
     std::uint32_t granularity; //!< set accesses per ETR decrement
 
     std::vector<std::uint16_t> rdp;
-    std::unordered_map<std::uint32_t, SampledSet> samples;
+    /** Indexed by set >> sampleShift (only sampled sets are stored). */
+    std::vector<SampledSet> samples;
+    std::size_t sampleCap; //!< per-sampled-set table capacity (pow2)
     std::vector<LineState> lines;
     std::vector<std::uint32_t> agingCount; //!< per-set access counter
     Tick promoteTick = 0;

@@ -19,7 +19,7 @@ namespace garibaldi
  * from the immediately following victim() call so QBS retries make
  * progress.
  */
-class RandomPolicy : public ReplacementPolicy
+class RandomPolicy final : public ReplacementPolicy
 {
   public:
     RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,

@@ -43,7 +43,15 @@ PolicyKind parsePolicyKind(const std::string &name);
 /** Tunables shared by the predictive policies. */
 struct PolicyParams
 {
-    /** RRPV / ETR counter width in bits (Table 3 methodology: 5). */
+    /**
+     * RRPV / ETR counter width in bits.  3 matches Mockingjay's signed
+     * ETR range ([-4, 3]) and gives SRRIP-family policies an 8-level
+     * RRPV — the width every archived trace and golden was produced
+     * with.  (An earlier comment claimed the paper's Table 3 prescribes
+     * 5; nothing in the methodology we reproduce bears that out, and
+     * the default was never 5.)  Pinned by PolicyParamsDefaultsPinned:
+     * changing it invalidates every policy trace hash.
+     */
     unsigned counterBits = 3;
     /** Sample one of every 2^sampleShift sets for history-based policies. */
     unsigned sampleShift = 3;

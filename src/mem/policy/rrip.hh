@@ -58,7 +58,7 @@ class SrripPolicy : public ReplacementPolicy
  * DRRIP: dedicated leader sets run SRRIP and BRRIP; a PSEL counter
  * picks the winning insertion policy for follower sets.
  */
-class DrripPolicy : public SrripPolicy
+class DrripPolicy final : public SrripPolicy
 {
   public:
     DrripPolicy(std::uint32_t num_sets, std::uint32_t assoc,

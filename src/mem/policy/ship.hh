@@ -18,7 +18,7 @@ namespace garibaldi
 {
 
 /** SHiP-PC on top of SRRIP-HP. */
-class ShipPolicy : public SrripPolicy
+class ShipPolicy final : public SrripPolicy
 {
   public:
     ShipPolicy(std::uint32_t num_sets, std::uint32_t assoc,

@@ -8,7 +8,8 @@ namespace garibaldi
 
 IspyPrefetcher::IspyPrefetcher(std::size_t table_entries,
                                unsigned successors)
-    : table(table_entries),
+    : tags(table_entries, 0),
+      table(table_entries),
       numSucc(successors > kMaxSucc ? kMaxSucc : successors)
 {
     checkPowerOf2(table_entries, "I-SPY table size");
@@ -25,11 +26,11 @@ IspyPrefetcher::indexOf(Addr context) const
 void
 IspyPrefetcher::record(Addr context, Addr next_miss_line)
 {
-    Entry &e = table[indexOf(context)];
-    if (!e.valid || e.contextTag != context) {
-        e = Entry{};
-        e.contextTag = context;
-        e.valid = true;
+    std::size_t idx = indexOf(context);
+    Succ &e = table[idx];
+    if (tags[idx] != context) {
+        e = Succ{};
+        tags[idx] = context;
     }
     // Reinforce an existing successor or displace the weakest.
     unsigned weakest = 0;
@@ -66,8 +67,9 @@ IspyPrefetcher::observe(const MemAccess &acc, bool hit,
 
     // Conditional prefetch: successors of the *new* context.
     Addr next_context = line ^ (prevMiss << 1);
-    const Entry &e = table[indexOf(next_context)];
-    if (e.valid && e.contextTag == next_context) {
+    std::size_t idx = indexOf(next_context);
+    if (tags[idx] == next_context) {
+        const Succ &e = table[idx];
         for (unsigned i = 0; i < numSucc; ++i) {
             if (e.conf[i] >= 2 && e.succ[i] != 0) {
                 out.push_back(e.succ[i]);

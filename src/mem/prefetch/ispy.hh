@@ -36,18 +36,25 @@ class IspyPrefetcher : public Prefetcher
   private:
     static constexpr unsigned kMaxSucc = 4;
 
-    struct Entry
+    /** Per-entry successor payload (touched only on a tag match). */
+    struct Succ
     {
-        Addr contextTag = 0;
         std::array<Addr, kMaxSucc> succ{};
         std::array<std::uint8_t, kMaxSucc> conf{};
-        bool valid = false;
     };
 
     std::size_t indexOf(Addr context) const;
     void record(Addr context, Addr next_miss_line);
 
-    std::vector<Entry> table;
+    /**
+     * SoA layout: the context tags live in their own array (zero =
+     * empty; real contexts hashing to zero simply retrain, as before
+     * with the valid flag) so the common no-match probe reads one
+     * 8-byte tag instead of dragging a 48-byte entry through the host
+     * cache.  Successor payloads are only touched on a match.
+     */
+    std::vector<Addr> tags;
+    std::vector<Succ> table;
     unsigned numSucc;
     Addr prevMiss = 0;
     Addr prevPrevMiss = 0;

@@ -9,7 +9,9 @@ namespace garibaldi
 
 ReuseDistanceMonitor::ReuseDistanceMonitor(std::uint32_t llc_sets,
                                            unsigned sample_shift)
-    : numSets(llc_sets), sampleShift(sample_shift)
+    : numSets(llc_sets), sampleShift(sample_shift),
+      stacks(llc_sets >= (1u << sample_shift)
+                 ? llc_sets >> sample_shift : 1)
 {
 }
 
@@ -22,7 +24,7 @@ ReuseDistanceMonitor::observe(const MemAccess &acc, bool)
     if (set & ((1u << sampleShift) - 1))
         return;
 
-    std::vector<Addr> &stack = stacks[set];
+    std::vector<Addr> &stack = stacks[set >> sampleShift];
     auto it = std::find(stack.begin(), stack.end(), line);
     if (it != stack.end()) {
         // Stack distance == number of distinct lines touched in this
@@ -58,12 +60,12 @@ ReuseDistanceMonitor::stats() const
 void
 LineFrequencyMonitor::observe(const MemAccess &acc, bool)
 {
-    Addr line = acc.lineAddr();
+    Addr line = lineNumber(acc.lineAddr());
     if (acc.isInstr) {
-        ++instrCounts[line];
+        ++instrCounts.ref(line);
         ++instrAccesses;
     } else {
-        ++dataCounts[line];
+        ++dataCounts.ref(line);
         ++dataAccesses;
     }
 }
@@ -71,7 +73,7 @@ LineFrequencyMonitor::observe(const MemAccess &acc, bool)
 double
 LineFrequencyMonitor::instrAccessesPerLine() const
 {
-    return instrCounts.empty()
+    return instrCounts.size() == 0
         ? 0.0
         : static_cast<double>(instrAccesses) / instrCounts.size();
 }
@@ -79,7 +81,7 @@ LineFrequencyMonitor::instrAccessesPerLine() const
 double
 LineFrequencyMonitor::dataAccessesPerLine() const
 {
-    return dataCounts.empty()
+    return dataCounts.size() == 0
         ? 0.0
         : static_cast<double>(dataAccesses) / dataCounts.size();
 }
@@ -109,7 +111,7 @@ PairingMonitor::observe(const MemAccess &acc, bool hit)
 {
     if (acc.isInstr) {
         // Instruction accesses are keyed by their own virtual line.
-        InstrLineStats &st = instrLines[lineAlign(acc.pc)];
+        InstrLineStats &st = instrLines.ref(lineNumber(acc.pc));
         ++st.accesses;
         if (!hit)
             ++st.misses;
@@ -117,8 +119,8 @@ PairingMonitor::observe(const MemAccess &acc, bool hit)
     }
     // Data access: attribute to the triggering instruction's line (the
     // PC travels with every request, §5.1).
-    Addr il = lineAlign(acc.pc);
-    InstrLineStats &st = instrLines[il];
+    Addr il = lineNumber(acc.pc);
+    InstrLineStats &st = instrLines.ref(il);
     if (hit)
         ++st.dataHits;
     else
@@ -128,13 +130,13 @@ PairingMonitor::observe(const MemAccess &acc, bool hit)
         // Sharing degree: count distinct consecutive instruction lines
         // touching each hot data line (exact set tracking is too big;
         // consecutive-distinct is a faithful lower bound).
-        Addr dl = acc.lineAddr();
-        auto [it, inserted] = dataLastSharer.try_emplace(dl, il);
-        if (inserted) {
-            dataSharers[dl] = 1;
-        } else if (it->second != il) {
-            it->second = il;
-            ++dataSharers[dl];
+        SharerEntry &e = dataSharers.ref(lineNumber(acc.lineAddr()));
+        if (e.count == 0) {
+            e.last = il;
+            e.count = 1;
+        } else if (e.last != il) {
+            e.last = il;
+            ++e.count;
         }
     }
 }
@@ -143,14 +145,14 @@ double
 PairingMonitor::instrMissRateDataHot() const
 {
     std::uint64_t acc = 0, miss = 0;
-    for (const auto &[line, st] : instrLines) {
+    instrLines.forEach([&](Addr, const InstrLineStats &st) {
         if (st.accesses == 0 || st.dataHits + st.dataMisses == 0)
-            continue;
+            return;
         if (st.dataHits >= st.dataMisses) {
             acc += st.accesses;
             miss += st.misses;
         }
-    }
+    });
     return acc ? static_cast<double>(miss) / acc : 0.0;
 }
 
@@ -158,25 +160,25 @@ double
 PairingMonitor::instrMissRateDataCold() const
 {
     std::uint64_t acc = 0, miss = 0;
-    for (const auto &[line, st] : instrLines) {
+    instrLines.forEach([&](Addr, const InstrLineStats &st) {
         if (st.accesses == 0 || st.dataHits + st.dataMisses == 0)
-            continue;
+            return;
         if (st.dataHits < st.dataMisses) {
             acc += st.accesses;
             miss += st.misses;
         }
-    }
+    });
     return acc ? static_cast<double>(miss) / acc : 0.0;
 }
 
 double
 PairingMonitor::dataSharingDegree() const
 {
-    if (dataSharers.empty())
+    if (dataSharers.size() == 0)
         return 0.0;
     std::uint64_t sum = 0;
-    for (const auto &[line, n] : dataSharers)
-        sum += n;
+    dataSharers.forEach(
+        [&](Addr, const SharerEntry &e) { sum += e.count; });
     return static_cast<double>(sum) / dataSharers.size();
 }
 

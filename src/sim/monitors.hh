@@ -15,11 +15,11 @@
 #ifndef GARIBALDI_SIM_MONITORS_HH
 #define GARIBALDI_SIM_MONITORS_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.hh"
 #include "common/stats.hh"
+#include "mem/flat_tables.hh"
 #include "mem/hierarchy.hh"
 #include "mem/transaction.hh"
 
@@ -59,8 +59,13 @@ class ReuseDistanceMonitor : public LlcEventListener
   private:
     std::uint32_t numSets;
     unsigned sampleShift;
-    /** Per sampled set: LRU stack of line addresses (front = MRU). */
-    std::unordered_map<std::uint32_t, std::vector<Addr>> stacks;
+    /**
+     * Per sampled set: LRU stack of line addresses (front = MRU).
+     * Dense, indexed by set >> sampleShift — only sets whose low
+     * sampleShift bits are zero are observed, so the mapping is a
+     * bijection onto [0, numSets >> sampleShift).
+     */
+    std::vector<std::vector<Addr>> stacks;
     Histogram instrDist{1, 256};
     Histogram dataDist{1, 256};
 };
@@ -87,8 +92,9 @@ class LineFrequencyMonitor : public LlcEventListener
     StatSet stats() const;
 
   private:
-    std::unordered_map<Addr, std::uint32_t> instrCounts;
-    std::unordered_map<Addr, std::uint32_t> dataCounts;
+    /** Keyed by line number (open-addressed; no per-node allocation). */
+    FlatLineMap<std::uint32_t> instrCounts;
+    FlatLineMap<std::uint32_t> dataCounts;
     std::uint64_t instrAccesses = 0;
     std::uint64_t dataAccesses = 0;
 };
@@ -126,11 +132,21 @@ class PairingMonitor : public LlcEventListener
         std::uint64_t dataMisses = 0;
     };
 
-    /** Keyed by instruction line vaddr (PC-derived). */
-    std::unordered_map<Addr, InstrLineStats> instrLines;
-    /** Data line -> set of instruction lines (bounded sketch). */
-    std::unordered_map<Addr, std::uint32_t> dataSharers;
-    std::unordered_map<Addr, Addr> dataLastSharer;
+    /**
+     * Consecutive-distinct sharer sketch of one hot data line.  A live
+     * entry always has count >= 1, so count == 0 doubles as the
+     * "newly inserted" marker (the try_emplace of the map it replaces).
+     */
+    struct SharerEntry
+    {
+        Addr last = 0;
+        std::uint32_t count = 0;
+    };
+
+    /** Keyed by instruction line number (PC-derived). */
+    FlatLineMap<InstrLineStats> instrLines;
+    /** Data line number -> consecutive-distinct sharer sketch. */
+    FlatLineMap<SharerEntry> dataSharers;
 };
 
 /**

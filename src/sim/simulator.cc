@@ -1,7 +1,9 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <queue>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "garibaldi/garibaldi.hh"
@@ -67,6 +69,21 @@ Simulator::runWindow(std::uint64_t instructions_per_core)
     for (CoreId c = 0; c < sys.numCores(); ++c)
         heap.emplace(sys.core(c).now(), c);
 
+    // Ops are pulled from each core's stream a chunk at a time (one
+    // virtual fill() per chunk instead of one next() per op).  Each
+    // core's op sequence is exactly what per-op next() calls would
+    // produce — streams are per-core, so interleaving fetches across
+    // cores differently from execution order is invisible — and a
+    // buffer never outlives the window: fetched ops never exceed the
+    // window's per-core quota, and the loop drains remaining[] to zero.
+    constexpr std::size_t kOpChunk = 64;
+    std::vector<std::vector<MicroOp>> opBuf(sys.numCores());
+    std::vector<std::size_t> opCursor(sys.numCores(), 0);
+    std::vector<std::uint64_t> unfetched(sys.numCores(),
+                                         instructions_per_core);
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        opBuf[c].reserve(kOpChunk);
+
     // The popped core runs until it passes the next-earliest core's
     // clock (plus a small hysteresis that amortizes heap traffic).
     // This keeps cross-core skew bounded by one instruction's stall,
@@ -82,7 +99,15 @@ Simulator::runWindow(std::uint64_t instructions_per_core)
         Cycle horizon = (heap.empty() ? core.now() + 100000
                                       : heap.top().first) + kHysteresis;
         while (remaining[c] > 0 && core.now() <= horizon) {
-            core.step(stream.next());
+            if (opCursor[c] == opBuf[c].size()) {
+                std::size_t n = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(kOpChunk, unfetched[c]));
+                opBuf[c].resize(n);
+                stream.fill(opBuf[c].data(), n);
+                unfetched[c] -= n;
+                opCursor[c] = 0;
+            }
+            core.step(opBuf[c][opCursor[c]++]);
             --remaining[c];
         }
         if (remaining[c] > 0)

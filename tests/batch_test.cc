@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Pins MemoryHierarchy::submitBatch to its contract: a batch submission
+ * is exactly equivalent to calling access() per element in order — same
+ * outcomes, same final stats — regardless of how the run is chunked.
+ * Also pins MicroOpStream::fill against per-op next() on a live
+ * workload stream (the driver-side half of the batched path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+#include "workloads/catalog.hh"
+#include "workloads/synth_workload.hh"
+
+namespace garibaldi
+{
+namespace
+{
+
+HierarchyParams
+batchHier(std::uint32_t cores)
+{
+    HierarchyParams h;
+    h.numCores = cores;
+    h.coresPerL2 = 2;
+    h.l1i.sizeBytes = 8 * 1024;
+    h.l1i.assoc = 4;
+    h.l1i.latency = 3;
+    h.l1d = h.l1i;
+    h.l2.sizeBytes = 64 * 1024;
+    h.l2.assoc = 8;
+    h.l2.latency = 18;
+    h.l2.name = "l2";
+    h.llc.sizeBytes = 256 * 1024;
+    h.llc.assoc = 8;
+    h.llc.latency = 40;
+    h.llc.name = "llc";
+    h.llc.policy = PolicyKind::Mockingjay;
+    h.llcBanks = 2;
+    return h;
+}
+
+/** Deterministic mixed stream covering hits, misses and writes. */
+std::vector<TimedAccess>
+makeStream(std::uint32_t cores, std::size_t count)
+{
+    Pcg32 rng(123, 9);
+    std::vector<TimedAccess> out(count);
+    Cycle now = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        MemAccess &a = out[i].acc;
+        a.core = static_cast<CoreId>(i % cores);
+        std::uint32_t roll = rng.next() & 255;
+        a.pc = 0x400000 + (rng.next() & 0xffc0);
+        if (roll < 64) {
+            a.isInstr = true;
+            a.paddr = a.pc;
+        } else {
+            a.isWrite = (roll & 7) == 0;
+            a.paddr = (roll < 192 ? 0x1000000 : 0x40000000) +
+                      (rng.next() & 0x3ffc0);
+        }
+        out[i].now = now;
+        now += 3;
+    }
+    return out;
+}
+
+TEST(Batch, SubmitBatchMatchesPerAccessLoop)
+{
+    const std::uint32_t cores = 4;
+    std::vector<TimedAccess> stream = makeStream(cores, 20000);
+
+    MemoryHierarchy loop(batchHier(cores));
+    std::vector<AccessOutcome> loop_out(stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        loop_out[i] = loop.access(stream[i].acc, stream[i].now);
+
+    // Ragged chunk sizes so batch boundaries land everywhere.
+    MemoryHierarchy batched(batchHier(cores));
+    std::vector<AccessOutcome> batch_out(stream.size());
+    std::size_t chunk = 1;
+    for (std::size_t i = 0; i < stream.size();) {
+        std::size_t n = std::min(chunk, stream.size() - i);
+        batched.submitBatch(&stream[i], n, &batch_out[i]);
+        i += n;
+        chunk = chunk % 97 + 1;
+    }
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        ASSERT_EQ(loop_out[i].latency, batch_out[i].latency) << i;
+        ASSERT_EQ(loop_out[i].level, batch_out[i].level) << i;
+        ASSERT_EQ(loop_out[i].llcAccessed, batch_out[i].llcAccessed) << i;
+        ASSERT_EQ(loop_out[i].llcHit, batch_out[i].llcHit) << i;
+    }
+
+    StatSet ls = loop.stats();
+    StatSet bs = batched.stats();
+    ASSERT_EQ(ls.entries().size(), bs.entries().size());
+    for (const auto &[name, value] : ls.entries()) {
+        ASSERT_TRUE(bs.has(name)) << name;
+        EXPECT_EQ(value, bs.get(name)) << name;
+    }
+}
+
+TEST(Batch, StreamFillMatchesPerOpNext)
+{
+    WorkloadParams params = workloadByName("tpcc");
+    SynthWorkload a(params, /*seed=*/7);
+    SynthWorkload b(params, /*seed=*/7);
+
+    std::vector<MicroOp> filled(1000);
+    // Ragged chunks again: fill() must be exactly n next() calls.
+    std::size_t chunk = 1, at = 0;
+    while (at < filled.size()) {
+        std::size_t n = std::min(chunk, filled.size() - at);
+        a.fill(&filled[at], n);
+        at += n;
+        chunk = chunk % 13 + 1;
+    }
+    for (std::size_t i = 0; i < filled.size(); ++i) {
+        MicroOp op = b.next();
+        ASSERT_EQ(op.pc, filled[i].pc) << i;
+        ASSERT_EQ(op.mem, filled[i].mem) << i;
+        ASSERT_EQ(op.vaddr, filled[i].vaddr) << i;
+        ASSERT_EQ(op.isBranch, filled[i].isBranch) << i;
+        ASSERT_EQ(op.branchTaken, filled[i].branchTaken) << i;
+        ASSERT_EQ(op.isIndirect, filled[i].isIndirect) << i;
+        ASSERT_EQ(op.branchTarget, filled[i].branchTarget) << i;
+    }
+}
+
+} // namespace
+} // namespace garibaldi
