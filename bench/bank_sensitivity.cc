@@ -42,6 +42,7 @@
 
 #include "bench/bench_common.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "sim/metrics.hh"
 
 using namespace garibaldi;
@@ -80,8 +81,38 @@ main(int argc, char **argv)
     args.addInt("refresh-penalty", 885,
                 "cycles a channel blocks per refresh window, tRFC "
                 "(with --dram-timing)");
+    addObsArgs(args);
+    args.addString("obs-dir", "",
+                   "per-job observability artifact directory "
+                   "(jobNNNN.trace.json / jobNNNN.telemetry.jsonl)");
     args.parse(argc, argv);
     BenchArgs b = BenchArgs::from(args);
+
+    // A sweep runs many Systems; the single-file output flags cannot
+    // name its artifacts.  Both die with a pointer at --obs-dir, and
+    // the parallel case calls out the file race explicitly.
+    if (args.wasSet("trace-out")) {
+        if (b.jobs != 1)
+            fatal("--trace-out with --jobs ", b.jobs,
+                  " (0 = hardware concurrency) would have parallel "
+                  "workers race one trace file; use --obs-dir DIR "
+                  "for per-job artifacts");
+        fatal("bank_sensitivity runs a sweep (one System per job); "
+              "--trace-out names a single file — use --obs-dir DIR "
+              "for per-job artifacts");
+    }
+    if (args.wasSet("telemetry-out"))
+        fatal("bank_sensitivity runs a sweep (one System per job); "
+              "--telemetry-out names a single file — use --obs-dir "
+              "DIR for per-job artifacts");
+    std::string obs_dir = args.getString("obs-dir");
+    ObsConfig obs_template = obsSweepTemplateFromArgs(args);
+    if (!obs_dir.empty() && !obs_template.anyOn())
+        fatal("--obs-dir needs --trace-sample N and/or "
+              "--telemetry-window N; no obs knob is on");
+    if (obs_dir.empty() && obs_template.anyOn())
+        fatal("sweep observability writes per-job artifacts; add "
+              "--obs-dir DIR");
     int num_mixes = static_cast<int>(args.getInt("mixes"));
     if (b.full)
         num_mixes = std::max(num_mixes, 4);
@@ -182,6 +213,10 @@ main(int argc, char **argv)
     ExperimentContext ctx(base, b.warmup, b.detailed);
     SweepRunner runner(ctx);
     SweepOptions opts = b.sweepOptions();
+    if (!obs_dir.empty()) {
+        opts.obsDir = obs_dir;
+        opts.obsTemplate = obs_template;
+    }
     if (contention) {
         // Raw counters per job so table cells can aggregate across
         // mixes as summed-cycles / summed-reservations (never a mean

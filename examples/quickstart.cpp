@@ -6,12 +6,19 @@
  *
  * Usage: quickstart [--cores N] [--instr N] [--warmup N]
  *                   [--workload NAME]
+ *                   [--trace-sample N] [--trace-out FILE]
+ *                   [--telemetry-window N] [--telemetry-out FILE]
+ *
+ * The observability knobs apply to the Mockingjay+Garibaldi run (the
+ * one being studied); the LRU and plain-Mockingjay baselines always
+ * run untraced.
  */
 
 #include <cstdio>
 
 #include "common/cli.hh"
 #include "common/table_printer.hh"
+#include "obs/obs.hh"
 #include "sim/experiment.hh"
 #include "workloads/catalog.hh"
 
@@ -26,7 +33,9 @@ main(int argc, char **argv)
     args.addInt("warmup", 50000, "warmup instructions per core");
     args.addInt("instr", 250000, "measured instructions per core");
     args.addString("workload", "verilator", "homogeneous workload name");
+    addObsArgs(args);
     args.parse(argc, argv);
+    ObsConfig obs = obsConfigFromArgs(args);
 
     std::uint32_t cores = static_cast<std::uint32_t>(
         args.getInt("cores"));
@@ -43,7 +52,10 @@ main(int argc, char **argv)
 
     SimResult lru = ctx.runPolicy(PolicyKind::LRU, false, mix);
     SimResult mj = ctx.runPolicy(PolicyKind::Mockingjay, false, mix);
-    SimResult mjg = ctx.runPolicy(PolicyKind::Mockingjay, true, mix);
+    SystemConfig mjg_cfg =
+        configWithPolicy(base, PolicyKind::Mockingjay, true);
+    mjg_cfg.obs = obs;
+    SimResult mjg = ctx.run(mjg_cfg, mix);
 
     auto report = [](const char *label, const SimResult &r) {
         std::printf("%-24s hmean IPC %.4f  ifetch stalls %llu\n", label,
@@ -90,5 +102,18 @@ main(int argc, char **argv)
                     mjg.mem.get("llc.accesses"),
                 100.0 * mjg.mem.get("llc.hits") /
                     mjg.mem.get("llc.accesses"));
+
+    // Only printed when an obs knob is on, so the default run's output
+    // stays byte-identical to pre-observability builds.
+    if (obs.anyOn()) {
+        std::printf("\nobservability (MJ+Garibaldi run):\n%s",
+                    mjg.obs.toString().c_str());
+        if (!obs.traceOut.empty())
+            std::printf("trace written to %s (+ .csv)\n",
+                        obs.traceOut.c_str());
+        if (!obs.telemetryOut.empty())
+            std::printf("telemetry written to %s\n",
+                        obs.telemetryOut.c_str());
+    }
     return 0;
 }

@@ -168,6 +168,109 @@ cat > "$build/BENCH_dram_timing.json" <<EOF
 EOF
 cat "$build/BENCH_dram_timing.json"
 
+# Observability: with every obs knob off the tracer hook is a single
+# null-pointer branch, so quickstart/fig04/fig11 must stay
+# byte-identical to the committed goldens; with tracing on, artifacts
+# must be byte-identical across --jobs; and the sampling overhead is
+# measured on a fully-traced sweep and archived honestly.
+echo "== obs: knobs-off byte-identity vs goldens =="
+"$build/quickstart" --warmup 20000 --instr 50000 \
+    > "$build/golden_quickstart.txt"
+"$build/fig04_access_patterns" --warmup 10000 --instr 20000 --jobs 1 \
+    > "$build/golden_fig04.txt"
+"$build/fig11_end_to_end" --warmup 10000 --instr 20000 --mixes 2 \
+    --jobs 1 > "$build/golden_fig11.txt"
+for g in quickstart fig04 fig11; do
+  if ! diff -q "$repo/scripts/goldens/$g.txt" "$build/golden_$g.txt" \
+      > /dev/null; then
+    echo "FAIL: $g output drifted from scripts/goldens/$g.txt with obs off"
+    diff "$repo/scripts/goldens/$g.txt" "$build/golden_$g.txt" | head -20
+    exit 1
+  fi
+done
+echo "quickstart/fig04/fig11: byte-identical to goldens with obs off"
+
+echo "== obs: traced quickstart (Perfetto JSON + telemetry JSONL) =="
+obs_dir="$build/obs"
+rm -rf "$obs_dir"
+"$build/quickstart" --warmup 20000 --instr 50000 \
+    --trace-sample 64 --trace-out "$obs_dir/quickstart.trace.json" \
+    --telemetry-window 50000 \
+    --telemetry-out "$obs_dir/quickstart.telemetry.jsonl" \
+    > "$build/quickstart_traced.txt"
+for f in quickstart.trace.json quickstart.trace.json.csv \
+         quickstart.telemetry.jsonl; do
+  if [ ! -s "$obs_dir/$f" ]; then
+    echo "FAIL: traced quickstart did not write $f"
+    exit 1
+  fi
+done
+# The trace must stay loadable by Perfetto / chrome://tracing: a JSON
+# object opening with a traceEvents array.
+if ! head -c 16 "$obs_dir/quickstart.trace.json" \
+    | grep -q '{"traceEvents"'; then
+  echo "FAIL: trace JSON does not open with a traceEvents object"
+  exit 1
+fi
+events=$(grep -o '"ph":' "$obs_dir/quickstart.trace.json" | wc -l)
+windows=$(wc -l < "$obs_dir/quickstart.telemetry.jsonl")
+echo "traced quickstart: $events trace events, $windows telemetry windows"
+
+echo "== obs: sweep artifacts byte-identical (--obs-dir, --jobs 1 vs 8) =="
+obs_sweep_args=(--warmup 10000 --instr 20000 --mixes 1
+                --trace-sample 16 --telemetry-window 50000)
+rm -rf "$build/obs_j1" "$build/obs_j8"
+"$build/bank_sensitivity" "${obs_sweep_args[@]}" --jobs 1 \
+    --obs-dir "$build/obs_j1" > "$build/obs_bank_j1.txt"
+"$build/bank_sensitivity" "${obs_sweep_args[@]}" --jobs 8 \
+    --obs-dir "$build/obs_j8" > "$build/obs_bank_j8.txt"
+if ! diff -q "$build/obs_bank_j1.txt" "$build/obs_bank_j8.txt" \
+      > /dev/null \
+   || ! diff -rq "$build/obs_j1" "$build/obs_j8" > /dev/null; then
+  echo "FAIL: traced sweep differs between --jobs 1 and --jobs 8"
+  diff "$build/obs_bank_j1.txt" "$build/obs_bank_j8.txt" | head -10
+  diff -rq "$build/obs_j1" "$build/obs_j8" | head -10
+  exit 1
+fi
+n_artifacts=$(ls "$build/obs_j1" | wc -l)
+echo "traced sweep: stdout + $n_artifacts artifacts byte-identical across --jobs"
+
+# Overhead is measured on the bank sweep because --obs-dir traces
+# EVERY job there — quickstart would dilute the number with its two
+# untraced policy runs.  Full tracing is dominated by trace-file
+# serialization, which is the honest cost of asking for every
+# transaction.
+echo "== obs: sampling overhead (off / 1-in-64 / full) =="
+ovh_args=(--warmup 10000 --instr 20000 --mixes 1 --jobs 1)
+o_start=$(date +%s.%N)
+"$build/bank_sensitivity" "${ovh_args[@]}" > /dev/null
+o_end=$(date +%s.%N)
+s_start=$(date +%s.%N)
+"$build/bank_sensitivity" "${ovh_args[@]}" --trace-sample 64 \
+    --telemetry-window 50000 --obs-dir "$build/obs_ovh64" > /dev/null
+s_end=$(date +%s.%N)
+f_start=$(date +%s.%N)
+"$build/bank_sensitivity" "${ovh_args[@]}" --trace-sample 1 \
+    --telemetry-window 50000 --obs-dir "$build/obs_ovh1" > /dev/null
+f_end=$(date +%s.%N)
+t_off=$(echo "$o_end $o_start" | awk '{printf "%.3f", $1 - $2}')
+t_s64=$(echo "$s_end $s_start" | awk '{printf "%.3f", $1 - $2}')
+t_full=$(echo "$f_end $f_start" | awk '{printf "%.3f", $1 - $2}')
+p64=$(echo "$t_s64 $t_off" | awk '{printf "%.1f", ($1 / $2 - 1) * 100}')
+pfull=$(echo "$t_full $t_off" | awk '{printf "%.1f", ($1/$2 - 1) * 100}')
+cat > "$build/BENCH_obs_overhead.json" <<EOF
+{
+  "bench": "bank_sensitivity --warmup 10000 --instr 20000 --mixes 1 --jobs 1, every job traced via --obs-dir",
+  "metric": "wall seconds; overhead percent relative to obs-off",
+  "obs_off_seconds": $t_off,
+  "trace_1in64_seconds": $t_s64,
+  "trace_full_seconds": $t_full,
+  "overhead_1in64_pct": $p64,
+  "overhead_full_pct": $pfull
+}
+EOF
+cat "$build/BENCH_obs_overhead.json"
+
 echo "== hot-path throughput (accesses/sec; track across PRs) =="
 # Keep the previous run's archive (if any) around for the regression
 # warning below before this run overwrites it.

@@ -106,6 +106,7 @@ ArgParser::parse(int argc, const char *const *argv)
                          name.c_str());
             std::exit(1);
         }
+        opt->set = true;
         if (opt->kind == Kind::Flag) {
             opt->value = "1";
             continue;
@@ -148,6 +149,15 @@ bool
 ArgParser::getFlag(const std::string &name) const
 {
     return find(name, Kind::Flag)->value == "1";
+}
+
+bool
+ArgParser::wasSet(const std::string &name) const
+{
+    for (const auto &o : options)
+        if (o.name == name)
+            return o.set;
+    panic("unknown option --", name);
 }
 
 } // namespace garibaldi

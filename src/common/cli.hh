@@ -48,6 +48,14 @@ class ArgParser
     const std::string &getString(const std::string &name) const;
     bool getFlag(const std::string &name) const;
 
+    /**
+     * True when the user passed @p name explicitly on the command line
+     * (any kind), as opposed to the option sitting at its default.
+     * Lets validation distinguish "--trace-sample 0" (an error worth
+     * rejecting loudly) from the knob simply being off.
+     */
+    bool wasSet(const std::string &name) const;
+
   private:
     enum class Kind { Int, Double, String, Flag };
 
@@ -58,6 +66,7 @@ class ArgParser
         std::string help;
         std::string value; // textual; parsed on get
         std::string def;
+        bool set = false;  // appeared on the command line
     };
 
     const Option *find(const std::string &name, Kind kind) const;

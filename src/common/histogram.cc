@@ -53,6 +53,20 @@ Histogram::percentile(double p) const
     return bucketLow(counts.size() - 1);
 }
 
+QuantileSummary
+Histogram::quantiles() const
+{
+    QuantileSummary q;
+    q.count = total;
+    q.mean = mean();
+    q.p50 = percentile(0.5);
+    q.p90 = percentile(0.9);
+    q.p95 = percentile(0.95);
+    q.p99 = percentile(0.99);
+    q.max = maxSeen;
+    return q;
+}
+
 void
 Histogram::clear()
 {
@@ -79,7 +93,8 @@ Histogram::summary() const
 {
     std::ostringstream os;
     os << "n=" << total << " mean=" << mean() << " p50=" << percentile(0.5)
-       << " p90=" << percentile(0.9) << " max=" << maxSeen;
+       << " p90=" << percentile(0.9) << " p95=" << percentile(0.95)
+       << " p99=" << percentile(0.99) << " max=" << maxSeen;
     return os.str();
 }
 

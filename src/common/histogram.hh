@@ -15,6 +15,23 @@ namespace garibaldi
 {
 
 /**
+ * Fixed set of distribution landmarks of one histogram, for uniform
+ * percentile export (stat sets, trace summaries, bench footers).
+ * Percentiles are bucket lower edges, so they are quantized to the
+ * histogram's bucket width; count/mean/max are exact.
+ */
+struct QuantileSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+};
+
+/**
  * Accumulates samples into fixed-width buckets; values beyond the last
  * bucket land in an overflow bucket.  Also tracks exact sum/count/max so
  * means are not quantized.
@@ -42,6 +59,9 @@ class Histogram
 
     /** Smallest value with cumulative probability >= p (p in [0,1]). */
     std::uint64_t percentile(double p) const;
+
+    /** The standard landmark percentiles in one pass-friendly struct. */
+    QuantileSummary quantiles() const;
 
     /** Bucket counts including the trailing overflow bucket. */
     const std::vector<std::uint64_t> &buckets() const { return counts; }

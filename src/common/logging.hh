@@ -12,6 +12,8 @@
 #ifndef GARIBALDI_COMMON_LOGGING_HH
 #define GARIBALDI_COMMON_LOGGING_HH
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -75,5 +77,36 @@ inform(Args &&...args)
 }
 
 } // namespace garibaldi
+
+/**
+ * Rate-limited warnings for per-access paths: the per-call-site static
+ * keeps a warning embedded in a hot loop from flooding a 100k-access
+ * run.  Macros (not templates) because each *call site* needs its own
+ * suppression state; atomics because sweep workers share call sites.
+ *
+ * warn_once(...): emit on the first hit at this site, swallow the rest.
+ */
+#define warn_once(...)                                                   \
+    do {                                                                 \
+        static std::atomic<bool> warn_once_fired_(false);                \
+        if (!warn_once_fired_.exchange(true,                             \
+                                       std::memory_order_relaxed))       \
+            ::garibaldi::warn(__VA_ARGS__);                              \
+    } while (0)
+
+/**
+ * warn_every_n(n, ...): emit on the 1st, (n+1)th, (2n+1)th ... hit at
+ * this site, tagging each emission with the total occurrence count so
+ * the suppressed volume stays visible.
+ */
+#define warn_every_n(n, ...)                                             \
+    do {                                                                 \
+        static std::atomic<std::uint64_t> warn_every_count_(0);          \
+        std::uint64_t warn_seen_ = warn_every_count_.fetch_add(          \
+            1, std::memory_order_relaxed);                               \
+        if (warn_seen_ % (n) == 0)                                       \
+            ::garibaldi::warn(__VA_ARGS__, " (occurrence ",              \
+                              warn_seen_ + 1, ")");                      \
+    } while (0)
 
 #endif // GARIBALDI_COMMON_LOGGING_HH

@@ -1,5 +1,7 @@
 #include "garibaldi/garibaldi.hh"
 
+#include "obs/trace.hh"
+
 namespace garibaldi
 {
 
@@ -17,8 +19,15 @@ Garibaldi::Garibaldi(const GaribaldiParams &params_,
 }
 
 void
-Garibaldi::observeAccess(const MemAccess &acc, bool hit, Cycle)
+Garibaldi::observeAccess(const MemAccess &acc, bool hit, Cycle now)
 {
+    if (tracer) {
+        // Cache the timeline context so the decision hooks below —
+        // which carry no cycle/core of their own — can stamp their
+        // marker events with the access being serviced.
+        lastNow = now;
+        lastCore = acc.core;
+    }
     thresh.onLlcAccess(hit);
 
     if (acc.isInstr) {
@@ -59,12 +68,17 @@ Garibaldi::shouldProtect(Addr victim_line_addr)
         return false;
     ++nTableAccesses;
     PairQueryResult q = pairs.query(victim_line_addr, thresh.color());
-    if (q.found && q.agedCost > thresh.threshold()) {
+    bool grant = q.found && q.agedCost > thresh.threshold();
+    if (grant)
         ++nProtectionGrants;
-        return true;
-    }
-    ++nProtectionDenials;
-    return false;
+    else
+        ++nProtectionDenials;
+    if (tracer)
+        tracer->onMarker(grant ? MarkerKind::ProtectGrant
+                               : MarkerKind::ProtectDeny,
+                         lastCore, lastNow, victim_line_addr,
+                         q.found ? q.agedCost : 0);
+    return grant;
 }
 
 void
@@ -82,6 +96,11 @@ Garibaldi::instrMissPrefetch(Addr instr_line_addr, std::vector<Addr> &out)
     std::size_t before = out.size();
     pairs.collectPrefetchCandidates(instr_line_addr, out);
     nPrefetchesIssued += out.size() - before;
+    if (tracer && out.size() > before)
+        tracer->onMarker(MarkerKind::PairPrefetch, lastCore, lastNow,
+                         instr_line_addr,
+                         static_cast<std::uint64_t>(out.size() -
+                                                    before));
 }
 
 void

@@ -30,6 +30,8 @@
 namespace garibaldi
 {
 
+class Tracer;
+
 /** The pairwise instruction-data management module. */
 class Garibaldi : public LlcCompanion
 {
@@ -73,12 +75,31 @@ class Garibaldi : public LlcCompanion
     /** Pair-table + helper-table touches (for the energy model). */
     std::uint64_t tableAccesses() const { return nTableAccesses; }
 
+    /**
+     * Attach the transaction tracer (obs/trace.hh) so pairing
+     * decisions — protection grants/denials and pair-prefetch bursts —
+     * surface as instant events in the trace timeline.  Null detaches;
+     * unset (the default) costs one null-pointer branch per decision.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
+
   private:
     GaribaldiParams params;
     DppnTable dppn;
     PairTable pairs;
     ThresholdUnit thresh;
     std::vector<std::unique_ptr<HelperTable>> helpers;
+
+    Tracer *tracer = nullptr;
+    /**
+     * Timeline context for marker events: shouldProtect() and
+     * instrMissPrefetch() carry no cycle/core, so observeAccess()
+     * caches the most recent access's (now, core) — the decisions are
+     * made while that very access is being serviced.  Only maintained
+     * while a tracer is attached.
+     */
+    Cycle lastNow = 0;
+    CoreId lastCore = 0;
 
     std::uint64_t nTableAccesses = 0;
     std::uint64_t nProtectionGrants = 0;

@@ -132,6 +132,16 @@ Cache::reserveSlot(std::vector<Cycle> &busy_until, Cycle at,
     if (delay > 0) {
         ++stat.queuedAccesses;
         queue_cycles += delay;
+        // A wait this long means the port model is saturated far past
+        // anything the paper's configurations produce — almost always
+        // a mis-set bankServiceCycles/bankPorts pair.  Surface it
+        // without drowning the log (stderr only; never fires in sane
+        // configurations, so diffable stdout is untouched).
+        constexpr Cycle kPathologicalWait = 1'000'000;
+        if (delay > kPathologicalWait)
+            warn_every_n(1024, params.name, ": access queued ", delay,
+                         " cycles at a bank port; check "
+                         "bankServiceCycles/bankPorts");
     }
     return delay;
 }

@@ -97,6 +97,7 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
     // had back then.
     Cycle queue = 0;
     Cycle grant; // instant the transfer wins the wire
+    bool refresh_push = false; // the grant moved past a tRFC window
     bool backfill = now + kBackfillSlack < lastArrival[ch];
     if (backfill) {
         // Bandwidth is conserved: the straggler's transfer still takes
@@ -123,7 +124,9 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
             charged = backlog(horizon);
         }
         if (params.refreshOn()) {
-            horizon = afterRefresh(horizon);
+            Cycle aligned = afterRefresh(horizon);
+            refresh_push = aligned > horizon;
+            horizon = aligned;
             if (backlog(horizon) > charged) {
                 ++nRefreshBlocked;
                 refreshStallCycles += backlog(horizon) - charged;
@@ -150,6 +153,7 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
                 ++nRefreshBlocked;
                 refreshStallCycles += aligned - start;
                 start = aligned;
+                refresh_push = true;
             }
         }
         queue = start - now;
@@ -199,6 +203,11 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
 
     DramAccess out;
     out.backfilled = backfill;
+    out.queue = queue;
+    out.device = device;
+    out.rowLeg = static_cast<std::int8_t>(leg);
+    out.turned = flip;
+    out.refreshStalled = refresh_push;
     if (is_write) {
         ++nWrites;
         out.latency = 0; // posted: bandwidth consumed, no core stall
@@ -261,6 +270,14 @@ Dram::stats() const
             // rowLegLatency); the windowed recompute rebuilds this
             // from the two raw counters above.
             s.add("avg_" + p + "_latency", legLatency[leg].mean());
+            // Percentile landmarks of the same distribution.  The
+            // _p50/_p95/_p99 suffix marks them as gauges for anything
+            // windowing the stat set (percentiles of a cumulative
+            // histogram cannot be differenced across snapshots).
+            QuantileSummary q = legLatency[leg].quantiles();
+            s.add(p + "_lat_p50", static_cast<double>(q.p50));
+            s.add(p + "_lat_p95", static_cast<double>(q.p95));
+            s.add(p + "_lat_p99", static_cast<double>(q.p99));
         }
     }
     if (params.timingEnabled()) {

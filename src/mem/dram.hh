@@ -121,6 +121,19 @@ struct DramAccess
     Cycle completesAt = 0;
     /** Served via the out-of-order backfill path. */
     bool backfilled = false;
+
+    // ---- leg attribution (tracing; always filled, costs one store
+    // each, and changes no timing) -------------------------------------
+    /** Queue-delay share of latency (requester-visible wait). */
+    Cycle queue = 0;
+    /** Device-leg share (row-split aware; baseLatency when flat). */
+    Cycle device = 0;
+    /** Dram::RowLeg outcome; -1 when the row model is off. */
+    std::int8_t rowLeg = -1;
+    /** The grant crossed a read<->write bus turnaround. */
+    bool turned = false;
+    /** The grant was pushed past a refresh (tRFC) window. */
+    bool refreshStalled = false;
 };
 
 /** Bandwidth-limited DRAM with per-channel FCFS queueing. */

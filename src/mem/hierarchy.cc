@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace garibaldi
 {
@@ -101,8 +102,11 @@ MemoryHierarchy::execute(Transaction &txn)
     Cache &l1 = txn.req.isInstr ? *l1is[txn.req.core]
                                 : *l1ds[txn.req.core];
 
-    if (stageL1Probe(txn, l1))
+    if (stageL1Probe(txn, l1)) {
+        if (tracer)
+            tracer->onTransaction(txn);
         return;
+    }
 
     if (!txn.req.isPrefetch && l1.mshrsFull(txn.issued))
         ++mshrStalls;
@@ -110,6 +114,13 @@ MemoryHierarchy::execute(Transaction &txn)
     stageL2(txn);
     stageL1Fill(txn, l1);
     stageL1Prefetch(txn);
+
+    // Trace hook: the transaction's legs are final here.  Prefetch
+    // sub-transactions spawned above re-enter execute() and trace
+    // themselves; the export's canonical (issued, core, seq) merge
+    // puts everything back in stream order.
+    if (tracer)
+        tracer->onTransaction(txn);
 }
 
 bool
@@ -189,6 +200,8 @@ MemoryHierarchy::stageLlc(Transaction &txn)
     bool hit = bank.access(txn.req);
     txn.llcAccessed = true;
     txn.llcHit = hit;
+    if (tracer)
+        txn.llcBank = llcSet->bankOf(txn.lineAddr);
 
     Cycle fill_ready = 0;
     if (hit) {
@@ -253,6 +266,10 @@ MemoryHierarchy::stageDramFill(Transaction &txn)
                                          txn.issued);
     txn.dramCycles = fill.latency;
     txn.dramCompletesAt = fill.completesAt;
+    txn.dramQueueCycles = fill.queue;
+    txn.dramRowLeg = fill.rowLeg;
+    txn.dramTurnaround = fill.turned;
+    txn.dramRefreshStalled = fill.refreshStalled;
     txn.llcCycles += llcSet->latency();
     txn.level = HitLevel::Mem;
     if (!txn.allocate)

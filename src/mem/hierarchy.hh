@@ -36,6 +36,8 @@
 namespace garibaldi
 {
 
+class Tracer;
+
 /** Topology and per-level parameters. */
 struct HierarchyParams
 {
@@ -108,6 +110,13 @@ class MemoryHierarchy
     /** Subscribe to demand LLC accesses (monitors). */
     void addLlcListener(LlcEventListener *listener);
 
+    /**
+     * Attach the transaction tracer (obs/trace.hh); null detaches.
+     * When unset (the default) the only cost on the access path is
+     * one predictable null-pointer branch per finished transaction.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
+
     std::uint32_t clusterOf(CoreId core) const
     {
         return core / params.coresPerL2;
@@ -166,6 +175,7 @@ class MemoryHierarchy
     std::vector<std::unique_ptr<IspyPrefetcher>> l1iPf;
     std::vector<std::unique_ptr<GhbPrefetcher>> l2Pf;
     LlcCompanion *companion = nullptr;
+    Tracer *tracer = nullptr;
     std::vector<LlcEventListener *> llcListeners;
     std::vector<Addr> pfScratch; // prefetcher-observe scratch buffer
     std::vector<std::uint32_t> invalScratch; // directory sharer lists

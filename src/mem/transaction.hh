@@ -15,6 +15,8 @@
 #ifndef GARIBALDI_MEM_TRANSACTION_HH
 #define GARIBALDI_MEM_TRANSACTION_HH
 
+#include <cstdint>
+
 #include "common/types.hh"
 #include "mem/request.hh"
 
@@ -53,6 +55,13 @@ struct Transaction
      * request-path latency sum — sets MSHR residency.
      */
     Cycle dramCompletesAt = 0;
+
+    // ---- attribution detail (consumed by the tracer) -----------------
+    Cycle dramQueueCycles = 0;  //!< channel-queue share of dramCycles
+    std::int8_t dramRowLeg = -1; //!< Dram::RowLeg; -1 = row model off
+    bool dramTurnaround = false; //!< grant crossed a bus turnaround
+    bool dramRefreshStalled = false; //!< grant pushed past a tRFC blast
+    std::uint32_t llcBank = 0;  //!< owning LLC bank (set when traced)
 
     // ---- outcome -----------------------------------------------------
     HitLevel level = HitLevel::L1; //!< deepest level that serviced it

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Observability knobs: transaction tracing (sampled per-core ring
+ * buffers exported as Chrome trace-event JSON + CSV), windowed
+ * time-series telemetry (JSONL), and the latency-leg histograms that
+ * ride on the tracer's samples.
+ *
+ * Everything defaults off, and "off" is a hard contract: with the
+ * default-constructed config the System builds no ObsSubsystem, the
+ * hierarchy's tracer pointer stays null (one predictable branch per
+ * transaction), and every output — stats, goldens, perf — is
+ * byte-identical to a build without this subsystem.
+ */
+
+#ifndef GARIBALDI_OBS_OBS_CONFIG_HH
+#define GARIBALDI_OBS_OBS_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace garibaldi
+{
+
+/** Configuration of the observability subsystem. */
+struct ObsConfig
+{
+    /**
+     * Transaction sampling rate: capture 1 in N transactions per core
+     * (1 = every transaction).  0 (default) disables tracing entirely.
+     */
+    std::uint64_t traceSample = 0;
+    /** Per-core trace ring capacity in records (wrap overwrites). */
+    std::uint64_t traceBufRecords = 4096;
+    /**
+     * Chrome trace-event JSON output path; a sibling "<path>.csv" gets
+     * the compact per-record table.  Empty with traceSample > 0 is the
+     * histograms-only mode: legs are still sampled into the percentile
+     * stats but no file is written.
+     */
+    std::string traceOut;
+
+    /** Telemetry window length in cycles; 0 (default) = off. */
+    Cycle telemetryWindow = 0;
+    /** Telemetry JSONL output path (one record per window). */
+    std::string telemetryOut;
+
+    bool tracingOn() const { return traceSample > 0; }
+    bool telemetryOn() const { return telemetryWindow > 0; }
+    bool anyOn() const { return tracingOn() || telemetryOn(); }
+
+    /**
+     * fatal() on inconsistent knob combinations (output path without
+     * the matching rate/window and vice versa, zero-capacity rings).
+     * Called at the CLI layer and re-checked by the ObsSubsystem ctor
+     * so programmatic construction cannot skip the invariants.
+     */
+    void validate() const;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_OBS_OBS_CONFIG_HH

@@ -8,7 +8,10 @@
 #ifndef GARIBALDI_SIM_METRICS_HH
 #define GARIBALDI_SIM_METRICS_HH
 
+#include <string>
 #include <vector>
+
+#include "common/stats.hh"
 
 namespace garibaldi
 {
@@ -40,6 +43,38 @@ double weightedSpeedup(const std::vector<double> &shared_ipc,
  * window reports the end-of-window value.
  */
 double safeRate(double numerator, double denominator);
+
+/**
+ * True when @p name is a percentile gauge (ends in _p50/_p95/_p99).
+ * Percentiles of a cumulative histogram cannot be differenced across
+ * snapshots, so windowing reports their end-of-window reading — the
+ * same rule Garibaldi's named gauges follow.
+ */
+bool isQuantileStat(const std::string &name);
+
+/**
+ * Counter subtraction across a window boundary: every entry of
+ * @p after minus its @p before reading (absent = 0), except quantile
+ * gauges (isQuantileStat), which keep the after value.
+ */
+StatSet subtractCounters(const StatSet &after, const StatSet &before);
+
+/**
+ * Recompute every derived-rate entry of @p s in place from its raw
+ * counters (hit_rate, instr_miss_rate, avg_queue_delay, the DRAM
+ * avg_row_<leg>_latency / avg_read_latency family, coverage) — a
+ * difference of ratios is not the ratio of differences.
+ */
+void recomputeWindowedRates(StatSet &s);
+
+/**
+ * The full windowing discipline in one call: subtractCounters, then
+ * recomputeWindowedRates.  Used by Simulator::run for the detailed
+ * window and by the telemetry sink for every intra-run window, so the
+ * two can never drift apart.  Named gauges (Garibaldi's list) are the
+ * caller's to re-add — this function does not know about them.
+ */
+StatSet windowedStatDelta(const StatSet &after, const StatSet &before);
 
 } // namespace garibaldi
 

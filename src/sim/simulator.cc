@@ -7,6 +7,8 @@
 
 #include "common/logging.hh"
 #include "garibaldi/garibaldi.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "sim/metrics.hh"
 
 namespace garibaldi
@@ -55,8 +57,28 @@ Simulator::Simulator(System &system)
 {
 }
 
+std::uint64_t
+Simulator::instructionsRetired() const
+{
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        total += sys.core(c).stats().instructions;
+    return total;
+}
+
 void
-Simulator::runWindow(std::uint64_t instructions_per_core)
+Simulator::telemetrySample(TelemetrySink &telemetry, Cycle now)
+{
+    StatSet gari;
+    if (sys.garibaldi())
+        gari = sys.garibaldi()->stats();
+    telemetry.sample(now, sys.hierarchy().stats(), gari,
+                     instructionsRetired());
+}
+
+void
+Simulator::runWindow(std::uint64_t instructions_per_core,
+                     TelemetrySink *telemetry)
 {
     // Advance whichever core is earliest in simulated time, so accesses
     // from different cores interleave at the shared levels the way they
@@ -93,7 +115,13 @@ Simulator::runWindow(std::uint64_t instructions_per_core)
     while (!heap.empty()) {
         auto [when, c] = heap.top();
         heap.pop();
-        (void)when;
+        // The popped clock is a monotone non-decreasing lower bound on
+        // global simulated time (every other core is at or beyond it),
+        // which makes it the natural telemetry boundary: every event
+        // counted before this point happened before `when` plus at most
+        // the bounded cross-core skew.
+        if (telemetry && when >= telemetry->dueAt())
+            telemetrySample(*telemetry, when);
         CoreModel &core = sys.core(c);
         MicroOpStream &stream = sys.stream(c);
         Cycle horizon = (heap.empty() ? core.now() + 100000
@@ -146,7 +174,23 @@ Simulator::run(std::uint64_t warmup_per_core,
     for (CoreId c = 0; c < sys.numCores(); ++c)
         sys.core(c).resetStats();
 
-    runWindow(detailed_per_core);
+    // Observability opens with the measurement window: the tracer is
+    // deaf through warmup (records would never be reported anyway) and
+    // the telemetry sink's first window starts at the earliest core
+    // clock — the same instant the snapshots above were taken, so its
+    // deltas are exact window deltas.
+    ObsSubsystem *obs = sys.obs();
+    TelemetrySink *telemetry = obs ? obs->telemetry() : nullptr;
+    if (obs && obs->tracer())
+        obs->tracer()->setMeasuring(true);
+    if (telemetry) {
+        Cycle start = sys.core(0).now();
+        for (CoreId c = 1; c < sys.numCores(); ++c)
+            start = std::min(start, sys.core(c).now());
+        telemetry->begin(start, mem_before, gari_before, 0);
+    }
+
+    runWindow(detailed_per_core, telemetry);
 
     SimResult res;
     for (CoreId c = 0; c < sys.numCores(); ++c) {
@@ -167,121 +211,42 @@ Simulator::run(std::uint64_t warmup_per_core,
     // Counter stats subtract cleanly; derived rates do NOT (a
     // difference of ratios is not the ratio of differences), and
     // gauges (point-in-time readings) must not be differenced at all.
-    // Every rate exported by the hierarchy or the Garibaldi module is
-    // recomputed from the subtracted raw counters below, and gauges
-    // report their end-of-window reading.
-    auto subtract = [](const StatSet &after, const StatSet &before) {
-        StatSet out;
-        for (const auto &[name, value] : after.entries()) {
-            double prev = before.has(name) ? before.get(name) : 0.0;
-            out.add(name, value - prev);
-        }
-        return out;
-    };
-    auto recomputeRates = [](StatSet &s) {
-        // Collect names first: StatSet::add overwrites in place for
-        // existing keys, but iterating a container while mutating it is
-        // a trap worth avoiding outright.
-        std::vector<std::string> names;
-        names.reserve(s.entries().size());
-        for (const auto &[name, value] : s.entries())
-            names.push_back(name);
-        auto ratio_of = [&s](const std::string &prefix, const char *num,
-                             const char *den) {
-            return safeRate(s.get(prefix + num), s.get(prefix + den));
-        };
-        const std::string kHitRate = "hit_rate";
-        const std::string kInstrMissRate = "instr_miss_rate";
-        const std::string kAvgQueueDelay = "avg_queue_delay";
-        const std::string kCoverage = "coverage";
-        // DRAM row-buffer legs: avg_row_<leg>_latency is rebuilt from
-        // the leg's raw (cycles, reads) counters.  dram.row_hit_rate
-        // needs no entry here — it ends with "hit_rate" and the
-        // generic branch below recomputes it from dram.row_hits /
-        // dram.row_accesses.
-        const std::string kAvgRowLegLatency[3] = {
-            "avg_row_hit_latency", "avg_row_miss_latency",
-            "avg_row_conflict_latency"};
-        const std::string kRowLegCounters[3][2] = {
-            {"row_hit_lat_cycles", "row_hit_reads"},
-            {"row_miss_lat_cycles", "row_miss_reads"},
-            {"row_conflict_lat_cycles", "row_conflict_reads"}};
-        const std::string kAvgReadLatency = "avg_read_latency";
-        for (const auto &name : names) {
-            auto ends_with = [&name](const std::string &suffix) {
-                return name.size() >= suffix.size() &&
-                       name.compare(name.size() - suffix.size(),
-                                    suffix.size(), suffix) == 0;
-            };
-            if (ends_with(kInstrMissRate)) {
-                std::string prefix =
-                    name.substr(0, name.size() - kInstrMissRate.size());
-                s.add(name, ratio_of(prefix, "instr_misses",
-                                     "instr_accesses"));
-            } else if (ends_with(kHitRate)) {
-                std::string prefix =
-                    name.substr(0, name.size() - kHitRate.size());
-                s.add(name, ratio_of(prefix, "hits", "accesses"));
-            } else if (ends_with(kAvgQueueDelay)) {
-                // DRAM exports a cumulative mean over every access —
-                // backfills included, since they book bandwidth and
-                // can be charged queue like anything else — so the
-                // window's mean is its queued cycles over ALL of its
-                // accesses (no backfill subtraction: removing charged
-                // backfills from the denominator would overstate the
-                // delay the charged cycles already account for).
-                std::string prefix =
-                    name.substr(0, name.size() - kAvgQueueDelay.size());
-                double granted = s.get(prefix + "reads") +
-                                 s.get(prefix + "writes");
-                s.add(name, safeRate(s.get(prefix + "queued_cycles"),
-                                     granted));
-            } else if (ends_with(kAvgRowLegLatency[0]) ||
-                       ends_with(kAvgRowLegLatency[1]) ||
-                       ends_with(kAvgRowLegLatency[2])) {
-                for (int leg = 0; leg < 3; ++leg) {
-                    if (!ends_with(kAvgRowLegLatency[leg]))
-                        continue;
-                    std::string prefix = name.substr(
-                        0, name.size() - kAvgRowLegLatency[leg].size());
-                    s.add(name,
-                          safeRate(
-                              s.get(prefix + kRowLegCounters[leg][0]),
-                              s.get(prefix + kRowLegCounters[leg][1])));
-                    break;
-                }
-            } else if (ends_with(kAvgReadLatency)) {
-                std::string prefix = name.substr(
-                    0, name.size() - kAvgReadLatency.size());
-                s.add(name, safeRate(s.get(prefix + "read_lat_cycles"),
-                                     s.get(prefix + "reads")));
-            } else if (ends_with(kCoverage)) {
-                // helper.coverage = hits / (hits + misses).
-                std::string prefix =
-                    name.substr(0, name.size() - kCoverage.size());
-                double h = s.get(prefix + "hits");
-                double m = s.get(prefix + "misses");
-                s.add(name, safeRate(h, h + m));
-            }
-        }
-    };
-
-    res.mem = subtract(sys.hierarchy().stats(), mem_before);
-    recomputeRates(res.mem);
+    // windowedStatDelta (sim/metrics.hh) applies the full discipline —
+    // shared with the telemetry sink's per-window records so the two
+    // reports can never drift apart.
+    res.mem = windowedStatDelta(sys.hierarchy().stats(), mem_before);
     if (sys.garibaldi()) {
         StatSet gari_after = sys.garibaldi()->stats();
-        res.garibaldi = subtract(gari_after, gari_before);
+        res.garibaldi = windowedStatDelta(gari_after, gari_before);
         // helper.coverage flows through the same safeRate recompute as
         // the hierarchy rates; the threshold unit's gauges are
         // point-in-time readings, so the windowed report is simply the
         // end-of-window value (a difference of two gauge readings is
         // noise — quickstart used to print it as such).
-        recomputeRates(res.garibaldi);
         for (const std::string &gauge : Garibaldi::gaugeStats())
             if (gari_after.has(gauge))
                 res.garibaldi.add(gauge, gari_after.get(gauge));
     }
-    res.tlb = subtract(sum_tlb(), tlb_before);
+    res.tlb = subtractCounters(sum_tlb(), tlb_before);
+
+    if (obs) {
+        if (telemetry) {
+            // Flush the final partial window at the latest core clock —
+            // the instant the last event of the run could have landed.
+            Cycle end = sys.core(0).now();
+            for (CoreId c = 1; c < sys.numCores(); ++c)
+                end = std::max(end, sys.core(c).now());
+            StatSet gari_now;
+            if (sys.garibaldi())
+                gari_now = sys.garibaldi()->stats();
+            telemetry->finish(end, sys.hierarchy().stats(), gari_now,
+                              instructionsRetired());
+        }
+        if (obs->tracer())
+            obs->tracer()->setMeasuring(false);
+        obs->writeOutputs();
+        res.obs = obs->stats();
+    }
     return res;
 }
 

@@ -40,6 +40,7 @@ struct SimResult
     StatSet mem;       //!< hierarchy stats (detailed window)
     StatSet garibaldi; //!< module stats, empty set when disabled
     StatSet tlb;       //!< aggregated TLB stats
+    StatSet obs;       //!< observability stats, empty when obs is off
 
     /** Sum of per-core IPCs. */
     double ipcSum() const;
@@ -65,7 +66,20 @@ class Simulator
                   std::uint64_t detailed_per_core);
 
   private:
-    void runWindow(std::uint64_t instructions_per_core);
+    /**
+     * Advance every core by @p instructions_per_core instructions.
+     * When @p telemetry is non-null, windows are closed whenever the
+     * heap-top clock — a monotone non-decreasing lower bound on global
+     * simulated time — crosses the sink's due cycle.
+     */
+    void runWindow(std::uint64_t instructions_per_core,
+                   TelemetrySink *telemetry = nullptr);
+
+    /** Gather the current stat surface and close a telemetry window. */
+    void telemetrySample(TelemetrySink &telemetry, Cycle now);
+
+    /** Instructions retired so far across all cores (post-reset). */
+    std::uint64_t instructionsRetired() const;
 
     System &sys;
 };

@@ -22,6 +22,16 @@ System::System(const SystemConfig &config, const Mix &mix)
         mem->setLlcCompanion(gari.get());
     }
 
+    if (config.obs.anyOn()) {
+        obsSub = std::make_unique<ObsSubsystem>(config.obs,
+                                                config.numCores);
+        if (Tracer *t = obsSub->tracer()) {
+            mem->setTracer(t);
+            if (gari)
+                gari->setTracer(t);
+        }
+    }
+
     for (CoreId c = 0; c < config.numCores; ++c) {
         WorkloadParams wp = workloadByName(mix.slots[c]);
         std::uint64_t stream_seed =

@@ -13,6 +13,7 @@
 #include "core/core_model.hh"
 #include "garibaldi/garibaldi.hh"
 #include "mem/hierarchy.hh"
+#include "obs/obs.hh"
 #include "sim/system_config.hh"
 #include "workloads/mix.hh"
 #include "workloads/synth_workload.hh"
@@ -34,6 +35,8 @@ class System
     CoreModel &core(CoreId c) { return *cores.at(c); }
     MicroOpStream &stream(CoreId c) { return *streams.at(c); }
     Garibaldi *garibaldi() { return gari.get(); }
+    /** Observability subsystem; null when every obs knob is off. */
+    ObsSubsystem *obs() { return obsSub.get(); }
     std::uint32_t numCores() const { return config_.numCores; }
     const SystemConfig &config() const { return config_; }
     const Mix &mix() const { return mix_; }
@@ -43,6 +46,7 @@ class System
     Mix mix_;
     std::unique_ptr<MemoryHierarchy> mem;
     std::unique_ptr<Garibaldi> gari;
+    std::unique_ptr<ObsSubsystem> obsSub;
     std::vector<std::unique_ptr<SynthWorkload>> streams;
     std::vector<std::unique_ptr<CoreModel>> cores;
 };

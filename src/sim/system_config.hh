@@ -14,6 +14,7 @@
 #include "core/core_model.hh"
 #include "garibaldi/params.hh"
 #include "mem/hierarchy.hh"
+#include "obs/obs_config.hh"
 
 namespace garibaldi
 {
@@ -107,6 +108,13 @@ struct SystemConfig
     bool l1dNextLinePrefetcher = true;
     bool l2GhbPrefetcher = true;
     bool l1iIspyPrefetcher = true;
+
+    /**
+     * Observability (src/obs): transaction tracing, telemetry windows
+     * and latency-leg histograms.  All knobs default off = the System
+     * builds no ObsSubsystem and every output stays byte-identical.
+     */
+    ObsConfig obs{};
 
     /** Master seed; all per-core seeds derive from it. */
     std::uint64_t seed = 1;

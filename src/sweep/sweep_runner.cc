@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "sweep/thread_pool.hh"
 
 namespace garibaldi
@@ -39,6 +40,18 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     if (jobs.empty())
         return table;
 
+    // The template is validated per job AFTER its output paths are
+    // filled in (the ObsSubsystem ctor re-runs ObsConfig::validate);
+    // checking it here would reject a telemetry template whose JSONL
+    // path is legitimately still empty.
+    const bool obs_on = !opts.obsDir.empty();
+    if (obs_on) {
+        if (!opts.obsTemplate.anyOn())
+            fatal("sweep: obsDir set but every obs knob in the "
+                  "template is off");
+        ensureDirectories(opts.obsDir);
+    }
+
     ThreadPool pool(opts.jobs);
 
     // Pre-warm the solo-IPC cache: heterogeneous mixes need per-
@@ -69,7 +82,24 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     std::size_t done = 0;
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         const SweepJob &job = jobs[i];
-        SimResult result = ctx.run(job.config, job.mix);
+        SimResult result;
+        if (obs_on) {
+            // Per-job artifact paths keyed by job INDEX: workers race,
+            // indices don't, so reruns at any --jobs value produce the
+            // same file set with the same contents.
+            char stem[32];
+            std::snprintf(stem, sizeof(stem), "/job%04zu", i);
+            SystemConfig cfg = job.config;
+            cfg.obs = opts.obsTemplate;
+            if (cfg.obs.tracingOn())
+                cfg.obs.traceOut = opts.obsDir + stem + ".trace.json";
+            if (cfg.obs.telemetryOn())
+                cfg.obs.telemetryOut =
+                    opts.obsDir + stem + ".telemetry.jsonl";
+            result = ctx.run(cfg, job.mix);
+        } else {
+            result = ctx.run(job.config, job.mix);
+        }
         std::vector<double> metrics;
         metrics.reserve(metric_cols.size());
         metrics.push_back(ctx.metric(result, job.mix));

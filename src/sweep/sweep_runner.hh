@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_config.hh"
 #include "sim/experiment.hh"
 #include "sweep/results_table.hh"
 #include "sweep/sweep_spec.hh"
@@ -41,6 +42,17 @@ struct SweepOptions
     bool progress = false;
     /** Extra metric columns appended after "metric". */
     std::vector<MetricColumn> extraMetrics;
+    /**
+     * Per-job observability artifacts.  When obsDir is non-empty each
+     * job runs with obsTemplate as its obs config, output paths
+     * rewritten to "<obsDir>/jobNNNN.trace.json" (+ sibling CSV) and
+     * "<obsDir>/jobNNNN.telemetry.jsonl" — keyed by job index, not by
+     * worker or completion order, so a sweep's artifact set is
+     * byte-identical for any --jobs value.  The directory is created
+     * up front (mkdir -p semantics).
+     */
+    std::string obsDir;
+    ObsConfig obsTemplate{};
 };
 
 /** Runs expanded sweeps against one ExperimentContext. */
