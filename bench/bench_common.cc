@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace garibaldi
@@ -19,6 +20,7 @@ BenchArgs::addTo(ArgParser &args)
     args.addInt("jobs", 0,
                 "parallel sweep worker threads (0 = all hardware "
                 "threads); results are identical for any value");
+    audit::addAuditArg(args);
     args.addFlag("full", "full workload set / paper-scale sweep");
     args.addFlag("csv", "emit CSV instead of aligned text");
     args.addFlag("progress", "per-job sweep progress on stderr");
@@ -37,6 +39,7 @@ BenchArgs::from(const ArgParser &args)
     if (jobs < 0)
         fatal("--jobs must be >= 0 (got ", jobs, ")");
     b.jobs = static_cast<std::uint32_t>(jobs);
+    audit::applyAuditArg(args);
     b.full = args.getFlag("full");
     b.csv = args.getFlag("csv");
     b.progress = args.getFlag("progress");

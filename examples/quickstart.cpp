@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "common/audit.hh"
 #include "common/cli.hh"
 #include "common/table_printer.hh"
 #include "obs/obs.hh"
@@ -34,8 +35,10 @@ main(int argc, char **argv)
     args.addInt("instr", 250000, "measured instructions per core");
     args.addString("workload", "verilator", "homogeneous workload name");
     addObsArgs(args);
+    audit::addAuditArg(args);
     args.parse(argc, argv);
     ObsConfig obs = obsConfigFromArgs(args);
+    audit::applyAuditArg(args);
 
     std::uint32_t cores = static_cast<std::uint32_t>(
         args.getInt("cores"));

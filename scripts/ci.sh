@@ -19,6 +19,31 @@ cmake --build "$build" -j "$jobs"
 echo "== ctest =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
+# ---- correctness gates (see README "Correctness tooling") ------------
+# Determinism lint: hard gate; the fixture corpus that proves each rule
+# fires runs as the lint_determinism_fixtures ctest above.
+echo "== determinism lint (src/ bench/ examples/) =="
+lint_status="pass"
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$repo/scripts/lint_determinism.py" \
+      "$repo/src" "$repo/bench" "$repo/examples"
+  echo "determinism lint: clean"
+else
+  lint_status="skip (no python3)"
+  echo "determinism lint: SKIP (no python3 on PATH)"
+fi
+
+# clang-tidy gate: zero warnings via WarningsAsErrors in .clang-tidy;
+# SKIPs on toolchains without clang-tidy (this container ships GCC
+# only) rather than failing.
+echo "== clang-tidy gate =="
+tidy_out=$("$repo/scripts/tidy.sh" "$build") || { echo "$tidy_out"; exit 1; }
+echo "$tidy_out"
+case "$tidy_out" in
+  *SKIP*) tidy_status="skip (no clang-tidy)" ;;
+  *)      tidy_status="pass" ;;
+esac
+
 # (sweep_test, run by the ctest pass above, pins the unit-level
 # determinism properties; here we also pin the end-to-end bytes.
 # The diff uses a fixed --jobs 8 so the multi-threaded path is
@@ -190,6 +215,20 @@ for g in quickstart fig04 fig11; do
 done
 echo "quickstart/fig04/fig11: byte-identical to goldens with obs off"
 
+# Audit mode is a pure checker: enabling --audit must not perturb a
+# single output byte on a healthy run.
+echo "== audit: --audit byte-identity vs golden =="
+"$build/quickstart" --warmup 20000 --instr 50000 --audit \
+    > "$build/golden_quickstart_audit.txt"
+if ! diff -q "$repo/scripts/goldens/quickstart.txt" \
+    "$build/golden_quickstart_audit.txt" > /dev/null; then
+  echo "FAIL: quickstart --audit output differs from the golden"
+  diff "$repo/scripts/goldens/quickstart.txt" \
+      "$build/golden_quickstart_audit.txt" | head -20
+  exit 1
+fi
+echo "quickstart --audit: byte-identical to golden (checks are silent)"
+
 echo "== obs: traced quickstart (Perfetto JSON + telemetry JSONL) =="
 obs_dir="$build/obs"
 rm -rf "$obs_dir"
@@ -322,5 +361,47 @@ if [ -x "$build/micro_structures" ]; then
 else
   echo "micro_structures not built (google-benchmark missing); skipping"
 fi
+
+# ---- sanitizer lanes -------------------------------------------------
+# Each lane is its own build tree (sanitizer runtimes must not mix):
+# full ctest plus a short traced-free sweep at --jobs 8 with --audit on,
+# so the thread pool, the solo-IPC cache, and every audit check run
+# instrumented.  CI_SANITIZE=0 skips the lanes (e.g. quick local runs);
+# the stamp below records the skip honestly.
+run_sanitizer_lane() {
+  lane_name="$1"; lane_flags="$2"; lane_build="$build-$1"
+  echo "== sanitizer lane: $lane_name (-fsanitize=${lane_flags//;/,}) =="
+  cmake -B "$lane_build" -S "$repo" -DSIM_SANITIZE="$lane_flags" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$lane_build" -j "$jobs"
+  ctest --test-dir "$lane_build" --output-on-failure -j "$jobs"
+  "$lane_build/quickstart" --warmup 5000 --instr 10000 --audit > /dev/null
+  "$lane_build/bank_sensitivity" --warmup 2000 --instr 5000 --mixes 1 \
+      --jobs 8 --audit > /dev/null
+  echo "sanitizer lane $lane_name: clean"
+}
+if [ "${CI_SANITIZE:-1}" != "0" ]; then
+  run_sanitizer_lane asan "address;undefined"
+  asan_status="pass"
+  run_sanitizer_lane tsan "thread"
+  tsan_status="pass"
+else
+  asan_status="skip (CI_SANITIZE=0)"
+  tsan_status="skip (CI_SANITIZE=0)"
+  echo "== sanitizer lanes: SKIP (CI_SANITIZE=0) =="
+fi
+
+# One artifact recording what the correctness gates actually ran, so a
+# lane silently skipping can never masquerade as a pass.
+cat > "$build/BENCH_correctness.json" <<EOF
+{
+  "lint_determinism": "$lint_status",
+  "clang_tidy": "$tidy_status",
+  "asan_ubsan_lane": "$asan_status",
+  "tsan_lane": "$tsan_status",
+  "audit_golden_identity": "pass"
+}
+EOF
+cat "$build/BENCH_correctness.json"
 
 echo "CI OK"

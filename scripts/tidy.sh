@@ -1,0 +1,61 @@
+#!/bin/bash
+# clang-tidy gate over the simulator sources, configured by the
+# committed .clang-tidy profile.  Zero warnings required
+# (WarningsAsErrors: '*').
+#
+# The container this repo builds in ships only the GCC toolchain; when
+# no clang-tidy binary exists the gate SKIPs (exit 0) rather than
+# failing, so CI stays green without installing packages while any
+# environment that has the tool gets the full gate.
+#
+# Usage: scripts/tidy.sh [build-dir]
+#   build-dir must hold compile_commands.json (CMAKE_EXPORT_COMPILE_
+#   COMMANDS=ON); defaults to ./build.
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="${1:-$ROOT/build}"
+
+TIDY=""
+for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+            clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+        TIDY="$cand"
+        break
+    fi
+done
+if [ -z "$TIDY" ]; then
+    echo "tidy: SKIP (no clang-tidy binary on PATH; the profile in" \
+         ".clang-tidy still gates any environment that has one)"
+    exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "tidy: $BUILD/compile_commands.json missing -- configure with" \
+         "cmake -B $BUILD -S $ROOT -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 1
+fi
+
+cd "$ROOT" || exit 1
+FILES=$(find src bench examples -name '*.cc' -o -name '*.cpp' | sort)
+[ -n "$FILES" ] || { echo "tidy: no sources found" >&2; exit 1; }
+
+echo "tidy: $TIDY over $(echo "$FILES" | wc -l) translation units"
+fail=0
+# shellcheck disable=SC2086  # word-splitting FILES is intended
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD" -quiet \
+        $FILES || fail=1
+else
+    for f in $FILES; do
+        "$TIDY" -p "$BUILD" --quiet "$f" || fail=1
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "tidy: FAILED (warnings are errors; fix or suppress in" \
+         ".clang-tidy with a written rationale)" >&2
+    exit 1
+fi
+echo "tidy: clean"
+exit 0

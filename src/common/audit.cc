@@ -1,0 +1,32 @@
+#include "common/audit.hh"
+
+#include "common/cli.hh"
+
+namespace garibaldi
+{
+namespace audit
+{
+
+void
+addAuditArg(ArgParser &args)
+{
+    args.addFlag("audit",
+                 "enable runtime invariant-audit checks (needs a "
+                 "-DSIM_AUDIT=ON build)");
+}
+
+bool
+applyAuditArg(const ArgParser &args)
+{
+    if (!args.getFlag("audit"))
+        return false;
+    if (!kCompiledIn)
+        fatal("--audit requested but this build compiled the checks "
+              "out; reconfigure with -DSIM_AUDIT=ON (the default) to "
+              "audit invariants");
+    setEnabled(true);
+    return true;
+}
+
+} // namespace audit
+} // namespace garibaldi

@@ -23,7 +23,7 @@ Histogram::add(std::uint64_t value, std::uint64_t weight)
         idx = counts.size() - 1;
     counts[idx] += weight;
     total += weight;
-    sum += static_cast<double>(value) * weight;
+    sum += static_cast<double>(value) * static_cast<double>(weight);
     maxSeen = std::max(maxSeen, value);
 }
 

@@ -78,7 +78,7 @@ ZipfSampler::ZipfSampler(std::uint64_t n_, double alpha_)
     // handled via the generalized harmonic integral; alpha == 1 uses
     // logarithms).
     hx0 = h(0.5) + 1.0;
-    hxn = h(n + 0.5);
+    hxn = h(static_cast<double>(n) + 0.5);
     s = 2.0 - hInv(h(1.5) - std::pow(1.0, -alpha));
 }
 
@@ -112,8 +112,9 @@ ZipfSampler::sample(Pcg32 &rng) const
             k = 1;
         if (k > n)
             k = n;
-        if (k - x <= s ||
-            u >= h(k + 0.5) - std::pow(static_cast<double>(k), -alpha)) {
+        if (static_cast<double>(k) - x <= s ||
+            u >= h(static_cast<double>(k) + 0.5) -
+                     std::pow(static_cast<double>(k), -alpha)) {
             return k - 1; // ranks are 0-based externally
         }
     }

@@ -160,6 +160,7 @@ Garibaldi::stats() const
         StatSet h0 = helpers[0]->stats();
         double hits = 0, misses = 0;
         for (const auto &h : helpers) {
+            // determinism-lint: allow(float-counter) fixed-order sum into the double-typed StatSet surface
             hits += static_cast<double>(h->hits());
             misses += static_cast<double>(h->misses());
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -460,8 +461,14 @@ Cache::invalidate(Addr line_addr)
 }
 
 void
-Cache::addPending(Addr line_addr, Cycle ready)
+Cache::addPending(Addr line_addr, Cycle ready, Cycle now)
 {
+    // A fill booked to complete before its own issue instant would make
+    // mshrsFull()/pendingReady() lie about in-flight state — the exact
+    // class of bug the PR-5 backfill completesAt fix closed.
+    SIM_ASSERT(ready >= now, params.name, ": MSHR booking for line ",
+               lineNumber(line_addr), " completes at ", ready,
+               " which precedes the caller's clock ", now);
     pending.set(lineNumber(line_addr), ready);
 }
 

@@ -169,8 +169,15 @@ class Cache
      * dramFedLlcMshrs) the LLC banks book the channel's fill
      * completion instant, making MSHR pressure track real memory
      * backpressure.
+     *
+     * @param now the caller's clock when it is booking; audit mode
+     *        checks the booked completion never lies in the past
+     *        (ready >= now), which every timing path guarantees and
+     *        the PR-5 completesAt fix restored for backfills.  The
+     *        default 0 keeps clockless callers (tests, warm state
+     *        seeding) working — the check degenerates to ready >= 0.
      */
-    void addPending(Addr line_addr, Cycle ready);
+    void addPending(Addr line_addr, Cycle ready, Cycle now = 0);
 
     /**
      * Completion time of an in-flight fill of @p line, or 0 when none.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/audit.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -162,6 +163,12 @@ Dram::request(Addr line_addr, bool is_write, Cycle now)
     }
     queuedCycles += queue;
     queueDelay.add(queue);
+    // Both stall books are components of the queue delay a requester
+    // observed (backfills count only the push beyond the high-water
+    // mark), so their sums must stay subsets of queued_cycles or the
+    // avg_queue_delay identity silently breaks.
+    audit::checkStallSubset("dram", turnaroundStallCycles,
+                            refreshStallCycles, queuedCycles);
 
     // Device-latency leg from the channel's open-row state.  Row state
     // advances in arrival order (like every other book here), but the

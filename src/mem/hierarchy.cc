@@ -169,7 +169,8 @@ MemoryHierarchy::stageL2(Transaction &txn)
                 if (ev.dirty)
                     writebackToLlc(ev, txn.req.core, txn.issued);
             }
-            l2c.addPending(txn.lineAddr, txn.issued + txn.latency());
+            l2c.addPending(txn.lineAddr, txn.issued + txn.latency(),
+                           txn.issued);
 
             invalScratch.clear();
             Cycle pen = dir->onFill(txn.lineAddr, txn.cluster,
@@ -305,7 +306,7 @@ MemoryHierarchy::stageDramFill(Transaction &txn)
         Cycle ready = params.dramFedLlcMshrs
                           ? txn.dramCompletesAt + llcSet->latency()
                           : txn.issued + txn.latency();
-        llcSet->addPending(txn.lineAddr, ready);
+        llcSet->addPending(txn.lineAddr, ready, txn.issued);
     }
     txn.llcCycles += llcSet->drainQbsCycles(txn.lineAddr);
 }
@@ -317,7 +318,8 @@ MemoryHierarchy::stageL1Fill(Transaction &txn, Cache &l1)
     Eviction ev = l1.insert(txn.req);
     if (ev.valid && ev.dirty)
         writebackToL2(ev, txn.req.core, txn.issued);
-    l1.addPending(txn.lineAddr, txn.issued + txn.latency());
+    l1.addPending(txn.lineAddr, txn.issued + txn.latency(),
+                  txn.issued);
 
     // Accumulate: an LLC-bank MSHR stall charged earlier in the
     // pipeline must not be overwritten by the L1's own penalty.
@@ -383,7 +385,8 @@ MemoryHierarchy::issueGhbPrefetches(const Transaction &txn, Cache &l2c,
             if (ev.dirty)
                 writebackToLlc(ev, txn.req.core, txn.issued);
         }
-        l2c.addPending(lineAlign(a), txn.issued + sub.latency());
+        l2c.addPending(lineAlign(a), txn.issued + sub.latency(),
+                       txn.issued);
     }
 }
 
@@ -420,7 +423,7 @@ MemoryHierarchy::llcOnlyPrefetch(Addr line_addr, CoreId core, Cycle now)
     Cycle fill_done = params.dramFedLlcMshrs ? fill.completesAt
                                              : now + fill.latency;
     llcSet->addPending(lineAlign(line_addr),
-                       fill_done + llcSet->latency());
+                       fill_done + llcSet->latency(), now);
 }
 
 void

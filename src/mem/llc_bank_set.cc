@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -21,6 +22,7 @@ LlcBankSet::LlcBankSet(const CacheParams &llc, std::uint32_t banks,
     bankMask = banks - 1;
 
     std::uint32_t bank_bits = floorLog2(banks);
+    std::uint64_t assigned_mshrs = 0;
     for (std::uint32_t b = 0; b < banks; ++b) {
         CacheParams p = llc;
         if (banks > 1)
@@ -38,8 +40,13 @@ LlcBankSet::LlcBankSet(const CacheParams &llc, std::uint32_t banks,
         }
         p.indexSkipShift = interleave_shift;
         p.indexSkipBits = bank_bits;
+        assigned_mshrs += p.mshrs;
         banks_.push_back(std::make_unique<Cache>(p));
     }
+    // The remainder-first split must conserve the whole-LLC budget
+    // (modulo the every-bank-keeps-one clamp when banks > mshrs).
+    audit::checkMshrBudgetSplit(llc.name.c_str(), llc.mshrs, banks,
+                                assigned_mshrs);
 }
 
 void

@@ -69,9 +69,9 @@ class LlcBankSet
     {
         return bankFor(line_addr).invalidate(line_addr);
     }
-    void addPending(Addr line_addr, Cycle ready)
+    void addPending(Addr line_addr, Cycle ready, Cycle now = 0)
     {
-        bankFor(line_addr).addPending(line_addr, ready);
+        bankFor(line_addr).addPending(line_addr, ready, now);
     }
     Cycle pendingReady(Addr line_addr, Cycle now)
     {

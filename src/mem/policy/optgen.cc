@@ -44,6 +44,7 @@ OptGen::access(Addr tag)
     // Bound the map: drop entries that fell out of the window.  Amortize
     // by sweeping occasionally.
     if (lastAccess.size() > 4 * window) {
+        // determinism-lint: allow(unordered-iteration) erase-only sweep; which entries drop is order-independent and nothing is emitted
         for (auto i = lastAccess.begin(); i != lastAccess.end();) {
             if (time - i->second >= window)
                 i = lastAccess.erase(i);

@@ -78,8 +78,8 @@ class ReplacementPolicy
      * @param num_sets number of sets in the cache
      * @param assoc associativity
      */
-    ReplacementPolicy(std::uint32_t num_sets, std::uint32_t assoc)
-        : numSets(num_sets), assoc(assoc)
+    ReplacementPolicy(std::uint32_t num_sets, std::uint32_t assoc_)
+        : numSets(num_sets), assoc(assoc_)
     {}
 
     virtual ~ReplacementPolicy() = default;

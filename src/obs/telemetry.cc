@@ -1,5 +1,6 @@
 #include "obs/telemetry.hh"
 
+#include "common/audit.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "garibaldi/garibaldi.hh"
@@ -34,6 +35,15 @@ void
 TelemetrySink::emit(Cycle end, const StatSet &mem, const StatSet &gari,
                     std::uint64_t instr)
 {
+    SIM_ASSERT(end >= winStart, "telemetry: window would close at ",
+               end, " before its start ", winStart);
+    SIM_ASSERT(nWindows == 0 || winStart == auditPrevEnd,
+               "telemetry: window ", nWindows, " starts at ", winStart,
+               " but the previous one ended at ", auditPrevEnd,
+               " (a sink was re-armed mid-stream)");
+    SIM_ASSERT(instr >= instrPrev,
+               "telemetry: retired instructions ran backwards (", instr,
+               " after ", instrPrev, ")");
     StatSet mem_d = windowedStatDelta(mem, memPrev);
     StatSet gari_d = windowedStatDelta(gari, gariPrev);
     // Named gauges report their end-of-window reading, exactly like
@@ -89,6 +99,7 @@ TelemetrySink::emit(Cycle end, const StatSet &mem, const StatSet &gari,
     ++nWindows;
 
     winStart = end;
+    auditPrevEnd = end;
     memPrev = mem;
     gariPrev = gari;
     instrPrev = instr;

@@ -80,6 +80,14 @@ class TelemetrySink
     std::uint64_t instrPrev = 0;
     std::string out;
     std::uint64_t nWindows = 0;
+    /**
+     * Audit books (common/audit.hh): the end of the last emitted
+     * window, so the chaining invariant (every window starts exactly
+     * where its predecessor ended — re-arming a sink mid-stream breaks
+     * the JSONL into disjoint streams) and instruction conservation
+     * (retired counts never run backwards) can be checked per emit.
+     */
+    Cycle auditPrevEnd = 0;
 };
 
 } // namespace garibaldi

@@ -1,0 +1,16 @@
+// Fixture: allow() without a justification is itself a finding, and
+// a typo'd rule name suppresses nothing.
+// Expected findings: unordered-iteration (bare allow), bad-allow
+#include <unordered_set>
+
+int
+sweep()
+{
+    std::unordered_set<int> live;
+    int n = 0;
+    // determinism-lint: allow(unordered-iteration)
+    for (int v : live)
+        n += v;
+    // determinism-lint: allow(no-such-rule) misspelled rule id
+    return n;
+}

@@ -1,0 +1,10 @@
+// Fixture: floating-point accumulation into a counter-named variable.
+// Expected finding: float-counter
+double
+tallyCycles(const double *samples, int n)
+{
+    double stallCycles = 0;
+    for (int i = 0; i < n; ++i)
+        stallCycles += samples[i];
+    return stallCycles;
+}

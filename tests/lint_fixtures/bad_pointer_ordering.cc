@@ -1,0 +1,14 @@
+// Fixture: containers ordered by pointer value and address arithmetic.
+// Expected finding: pointer-ordering
+#include <cstdint>
+#include <map>
+
+struct Core;
+
+std::uint64_t
+hashCore(const Core *c)
+{
+    std::map<Core *, int> ranks;
+    (void)ranks;
+    return reinterpret_cast<std::uintptr_t>(c) * 0x9e3779b97f4a7c15ull;
+}

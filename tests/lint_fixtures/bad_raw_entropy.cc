@@ -1,0 +1,12 @@
+// Fixture: raw libc / <random> entropy outside src/common/rng.
+// Expected finding: raw-entropy
+#include <cstdlib>
+#include <random>
+
+unsigned
+pickVictimWay(unsigned assoc)
+{
+    std::random_device rd;
+    (void)rd;
+    return static_cast<unsigned>(rand()) % assoc;
+}

@@ -1,0 +1,14 @@
+// Fixture: iterates an unordered_map into an output stream.
+// Expected finding: unordered-iteration
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void
+dumpStats()
+{
+    std::unordered_map<std::string, double> stats;
+    stats["ipc"] = 1.5;
+    for (const auto &kv : stats)
+        std::printf("%s=%f\n", kv.first.c_str(), kv.second);
+}

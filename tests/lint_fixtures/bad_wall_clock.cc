@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads in simulation code.
+// Expected finding: wall-clock
+#include <chrono>
+#include <ctime>
+
+long
+stampWindow()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,37 @@
+// Fixture: deterministic idioms the lint must NOT flag.
+//  - unordered containers used for lookup only (no iteration)
+//  - "rand" / "time" as substrings of longer identifiers
+//  - entropy keywords inside comments and string literals
+//  - a justified allow() for a real finding
+//  - integral counters
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// rand() and std::chrono::steady_clock in a comment are fine.
+static const char *kDoc =
+    "call rand() or time(NULL) -- only mentioned in this string";
+
+std::uint64_t
+countOperands(const std::vector<std::uint64_t> &ops)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> lastAccess;
+    std::uint64_t operandCount = 0;
+    for (std::uint64_t op : ops) {
+        lastAccess[op] += 1;   // lookup/update only; never iterated
+        ++operandCount;
+    }
+    std::uint64_t timestamp = lastAccess.size();  // not time()
+    return operandCount + timestamp + (kDoc ? 1u : 0u);
+}
+
+double
+justifiedSum(const double *xs, int n)
+{
+    double byteCount = 0;
+    for (int i = 0; i < n; ++i)
+        // determinism-lint: allow(float-counter) fixed-order sum in a fixture exercising the waiver path
+        byteCount += xs[i];
+    return byteCount;
+}

@@ -214,8 +214,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyKind::SRRIP, PolicyKind::DRRIP,
                       PolicyKind::SHiP, PolicyKind::Hawkeye,
                       PolicyKind::Mockingjay),
-    [](const ::testing::TestParamInfo<PolicyKind> &info) {
-        return std::string(policyKindName(info.param));
+    [](const ::testing::TestParamInfo<PolicyKind> &pinfo) {
+        return std::string(policyKindName(pinfo.param));
     });
 
 } // namespace
