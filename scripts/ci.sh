@@ -33,6 +33,21 @@ else
   echo "determinism lint: SKIP (no python3 on PATH)"
 fi
 
+# Sharing analyzer: hard gate at zero findings over src/; the emitted
+# sharing map is the machine-readable contract the parallelism PR will
+# consume (fixture corpus: sharing_lint_fixtures ctest; map shape:
+# sharing_map_test ctest).
+echo "== sharing analyzer (src/) =="
+sharing_status="pass"
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$repo/scripts/analyze_sharing.py" \
+      --emit "$build/sharing_map.json" "$repo/src"
+  echo "sharing analyzer: clean (map: $build/sharing_map.json)"
+else
+  sharing_status="skip (no python3)"
+  echo "sharing analyzer: SKIP (no python3 on PATH)"
+fi
+
 # clang-tidy gate: zero warnings via WarningsAsErrors in .clang-tidy;
 # SKIPs on toolchains without clang-tidy (this container ships GCC
 # only) rather than failing.
@@ -42,6 +57,17 @@ echo "$tidy_out"
 case "$tidy_out" in
   *SKIP*) tidy_status="skip (no clang-tidy)" ;;
   *)      tidy_status="pass" ;;
+esac
+
+# Clang thread-safety lane: -Wthread-safety -Wthread-safety-beta as
+# errors over every TU, driven by the src/common/sharing.hh
+# annotations; SKIPs honestly on GCC-only hosts.
+echo "== clang thread-safety lane =="
+ts_out=$("$repo/scripts/thread_safety.sh") || { echo "$ts_out"; exit 1; }
+echo "$ts_out"
+case "$ts_out" in
+  *SKIP*) thread_safety_status="skip (no clang)" ;;
+  *)      thread_safety_status="pass" ;;
 esac
 
 # (sweep_test, run by the ctest pass above, pins the unit-level
@@ -396,7 +422,9 @@ fi
 cat > "$build/BENCH_correctness.json" <<EOF
 {
   "lint_determinism": "$lint_status",
+  "sharing_lint": "$sharing_status",
   "clang_tidy": "$tidy_status",
+  "thread_safety": "$thread_safety_status",
   "asan_ubsan_lane": "$asan_status",
   "tsan_lane": "$tsan_status",
   "audit_golden_identity": "pass"

@@ -29,6 +29,14 @@ flags the source patterns that historically cause such breaks:
                        name (+= accumulation in the same file).
                        Counters must be integral; float accumulation
                        order is not associative.
+  static-mutable       a function-local static or file/namespace-scope
+                       static variable that is not const/constexpr.
+                       Hidden mutable statics are a replay hazard (state
+                       leaks across runs in one process) and a sharding
+                       hazard for the intra-sim parallelism work; such
+                       state must be hoisted into an owner object or
+                       classified via src/common/sharing.hh and
+                       scripts/analyze_sharing.py.
 
 Suppression: a finding is waived by an annotation on the same line or
 the line directly above:
@@ -45,12 +53,16 @@ import os
 import re
 import sys
 
+from cpp_scan import (brace_scopes, collapse_angles, scope_kind_at,
+                      strip_code, strip_preproc)
+
 RULES = (
     "unordered-iteration",
     "raw-entropy",
     "wall-clock",
     "pointer-ordering",
     "float-counter",
+    "static-mutable",
 )
 
 EXTS = (".cc", ".hh", ".cpp", ".hpp", ".h")
@@ -62,75 +74,24 @@ WALL_CLOCK_EXEMPT = ("bench/", "examples/")
 # Files implementing the sanctioned RNG itself.
 ENTROPY_EXEMPT = ("src/common/rng.hh", "src/common/rng.cc")
 
+# Host-side drivers may keep static state (bench scaffolding, example
+# option tables); simulation code may not.
+STATIC_MUTABLE_SKIP = ("bench/", "examples/")
+
+# The warn_once/warn_every_n macro bodies expand to a function-local
+# static std::atomic at every call site.  Those atomics are internally
+# synchronized, feed stderr rate-limiting only, and never reach
+# simulated output — but a comment cannot live inside a backslash-
+# continued macro body, so the waiver is this path exemption instead of
+# an inline allow().
+STATIC_MUTABLE_EXEMPT = ("src/common/logging.hh",)
+
 ALLOW_RE = re.compile(
     r"//\s*determinism-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
 
 COUNTER_NAME_RE = re.compile(
     r"(?i)(count|cycles|hits|misses|stall|accesses|instr|reads|"
     r"writes|retired|evict|merges|windows|bytes)")
-
-
-def strip_code(text):
-    """Blank out comments, string and char literals, preserving line
-    structure, so rule regexes never match inside them.  Returns the
-    stripped text."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "str"
-                out.append('"')
-                i += 1
-                continue
-            if c == "'":
-                state = "chr"
-                out.append("'")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("str", "chr"):
-            quote = '"' if state == "str" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(quote)
-            elif c == "\n":  # unterminated; keep line structure
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
 
 
 def collect_allows(raw_lines):
@@ -178,6 +139,47 @@ def scan_rule(findings, path, stripped_lines, rule, pattern, msg):
     for ln, line in enumerate(stripped_lines, 1):
         if rx.search(line):
             findings.append(Finding(path, ln, rule, msg))
+
+
+def static_mutable_scan(findings, path, rel, stripped):
+    """Flag non-const statics at function, file, or namespace scope.
+    Class-scope statics (member declarations, method declarations) are
+    the class's business and are covered by analyze_sharing.py."""
+    if any(x in rel for x in STATIC_MUTABLE_SKIP):
+        return
+    if any(rel.endswith(x) for x in STATIC_MUTABLE_EXEMPT):
+        return
+    # Scope classification on preproc-blanked text so an #include
+    # preamble never pollutes a scope head; the scan itself stays on
+    # `stripped` so statics in macro bodies remain visible (they read
+    # as file scope, which is exactly the hazard).
+    scopes = brace_scopes(strip_preproc(stripped))
+    for m in re.finditer(r"\bstatic\s+", stripped):
+        idx = m.start()
+        if scope_kind_at(scopes, idx) in ("class", "enum"):
+            continue
+        end = stripped.find(";", idx)
+        if end == -1:
+            end = len(stripped)
+        stmt = stripped[idx:min(end, idx + 400)]
+        # Declarator head: everything before any initializer.
+        head = re.split(r"[={]", stmt, 1)[0]
+        if re.search(r"\b(?:const|constexpr|constinit)\b", head):
+            continue
+        head = collapse_angles(head)
+        head = re.sub(r"\bSIM_\w+\s*\([^()]*\)", "", head)
+        if "(" in head:
+            # Function declaration/definition.  (Ctor-paren variable
+            # initializers also land here — the codebase's brace-init
+            # style keeps that blind spot empty.)
+            continue
+        findings.append(Finding(
+            path, stripped.count("\n", 0, idx) + 1, "static-mutable",
+            "mutable static state is shared across all callers: a "
+            "replay hazard and a sharding hazard; make it const, hoist "
+            "it into an owner object, or classify it with "
+            "src/common/sharing.hh markers (scripts/analyze_sharing.py "
+            "tracks the classification)"))
 
 
 def lint_file(path, rel, sibling_unordered):
@@ -259,6 +261,9 @@ def lint_file(path, rel, sibling_unordered):
                     "floating-point accumulation into a counter; "
                     "use an integral counter (float addition is not "
                     "associative)"))
+
+    # -- static-mutable ------------------------------------------------
+    static_mutable_scan(findings, path, rel, stripped)
 
     # -- apply allow() annotations -------------------------------------
     kept = []

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "common/logging.hh"
+#include "common/sharing.hh"
 
 namespace garibaldi
 {
@@ -48,7 +49,7 @@ namespace detail
  * concurrently after main() set it, and the audit build must itself be
  * clean under the TSan lane it is meant to run in.
  */
-inline std::atomic<bool> enabled_{false};
+SIM_SHARED_SYNC inline std::atomic<bool> enabled_{false};
 } // namespace detail
 
 /** The --audit knob is on (always false when not compiled in). */

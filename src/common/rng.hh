@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sharing.hh"
+
 namespace garibaldi
 {
 
@@ -44,8 +46,10 @@ class Pcg32
     std::uint64_t next64();
 
   private:
-    std::uint64_t state;
-    std::uint64_t inc;
+    // An Rng stream belongs to exactly one core/workload; sharing one
+    // across workers would make draw order schedule-dependent.
+    SIM_PER_WORKER std::uint64_t state;
+    SIM_PER_WORKER std::uint64_t inc;
 };
 
 /**
@@ -72,11 +76,11 @@ class ZipfSampler
     double h(double x) const;
     double hInv(double x) const;
 
-    std::uint64_t n;
-    double alpha;
-    double hx0;
-    double hxn;
-    double s;
+    SIM_SHARED_CONST std::uint64_t n;
+    SIM_SHARED_CONST double alpha;
+    SIM_SHARED_CONST double hx0;
+    SIM_SHARED_CONST double hxn;
+    SIM_SHARED_CONST double s;
 };
 
 /**

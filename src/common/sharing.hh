@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Concurrency-readiness sharing annotations: the statically enforced
+ * inventory of which simulator state is per-worker, shared-immutable,
+ * lock-guarded, or commutatively merged at epoch barriers — the shard
+ * boundary contract the intra-sim-parallelism refactor (ROADMAP) will
+ * build on.
+ *
+ * Two annotation families share this header:
+ *
+ *  - Classification markers (SIM_PER_WORKER, SIM_SHARED_CONST,
+ *    SIM_SHARED_SYNC, SIM_EPOCH_MERGED) expand to nothing on every
+ *    compiler.  They are machine-readable documentation consumed by
+ *    scripts/analyze_sharing.py, which hard-fails CI when a mutable
+ *    member of a shard-boundary class lacks one and emits
+ *    build/sharing_map.json (class -> member -> classification).
+ *  - Capability annotations (SIM_CAPABILITY, SIM_GUARDED_BY,
+ *    SIM_REQUIRES, SIM_ACQUIRE, ...) lower to Clang thread-safety
+ *    attributes under Clang (-Wthread-safety, scripts/thread_safety.sh)
+ *    and to nothing elsewhere, so GCC builds are byte-identical.
+ *
+ * Vocabulary (one marker per mutable member of a boundary class):
+ *
+ *   SIM_PER_WORKER      confined to a single owner at any instant —
+ *                       thread-confined, or address/bank/channel-
+ *                       sharded so exactly one worker touches it
+ *                       between epoch barriers.
+ *   SIM_SHARED_CONST    written only during construction/setup, then
+ *                       read-only; safe to share without locks.
+ *   SIM_SHARED_SYNC     internally synchronized primitive (atomic,
+ *                       condition variable); safe by construction.
+ *   SIM_GUARDED_BY(m)   mutable shared state; every access must hold
+ *                       capability m (enforced by Clang).
+ *   SIM_EPOCH_MERGED(op) per-worker replica merged at epoch barriers
+ *                       with commutative op: sum, min, max, or
+ *                       histogram_merge (the reduction discipline of
+ *                       the commutative-updates paper, PAPERS.md).
+ */
+
+#ifndef GARIBALDI_COMMON_SHARING_HH
+#define GARIBALDI_COMMON_SHARING_HH
+
+#include <mutex>
+
+// ---- attribute plumbing ----------------------------------------------
+#if defined(__clang__)
+#define SIM_TSA_(x) __attribute__((x))
+#else
+#define SIM_TSA_(x) // no-op outside Clang
+#endif
+
+// ---- classification markers (analyzer-only; always no-ops) -----------
+#define SIM_PER_WORKER
+#define SIM_SHARED_CONST
+#define SIM_SHARED_SYNC
+#define SIM_EPOCH_MERGED(op)
+
+// ---- Clang thread-safety capabilities --------------------------------
+#define SIM_CAPABILITY(x) SIM_TSA_(capability(x))
+#define SIM_SCOPED_CAPABILITY SIM_TSA_(scoped_lockable)
+#define SIM_GUARDED_BY(x) SIM_TSA_(guarded_by(x))
+#define SIM_PT_GUARDED_BY(x) SIM_TSA_(pt_guarded_by(x))
+#define SIM_REQUIRES(...) SIM_TSA_(requires_capability(__VA_ARGS__))
+#define SIM_ACQUIRE(...) SIM_TSA_(acquire_capability(__VA_ARGS__))
+#define SIM_RELEASE(...) SIM_TSA_(release_capability(__VA_ARGS__))
+#define SIM_TRY_ACQUIRE(...)                                             \
+    SIM_TSA_(try_acquire_capability(__VA_ARGS__))
+#define SIM_EXCLUDES(...) SIM_TSA_(locks_excluded(__VA_ARGS__))
+#define SIM_NO_THREAD_SAFETY_ANALYSIS SIM_TSA_(no_thread_safety_analysis)
+
+namespace garibaldi
+{
+
+/**
+ * std::mutex wrapped as a Clang thread-safety capability.  libstdc++'s
+ * std::mutex carries no capability attribute, so locking it directly is
+ * invisible to -Wthread-safety; every mutex guarding simulator state
+ * must be a SimMutex so SIM_GUARDED_BY members are actually enforced.
+ */
+class SIM_CAPABILITY("mutex") SimMutex
+{
+  public:
+    SimMutex() = default;
+    SimMutex(const SimMutex &) = delete;
+    SimMutex &operator=(const SimMutex &) = delete;
+
+    void lock() SIM_ACQUIRE() { m.lock(); }
+    void unlock() SIM_RELEASE() { m.unlock(); }
+    bool try_lock() SIM_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+    /** Underlying mutex for condition-variable wiring. */
+    std::mutex &native() { return m; }
+
+  private:
+    std::mutex m;
+};
+
+/**
+ * RAII lock over a SimMutex with relock support (scoped capability).
+ * Holds a std::unique_lock so std::condition_variable::wait can run on
+ * native(); the analysis treats the capability as held across the wait,
+ * which matches the invariant that matters — the guarded predicate is
+ * only ever evaluated with the lock held.
+ */
+class SIM_SCOPED_CAPABILITY SimLock
+{
+  public:
+    explicit SimLock(SimMutex &mu) SIM_ACQUIRE(mu) : lk(mu.native()) {}
+    ~SimLock() SIM_RELEASE() {} // unique_lock releases iff still held
+
+    SimLock(const SimLock &) = delete;
+    SimLock &operator=(const SimLock &) = delete;
+
+    /** Reacquire after unlock() (e.g. around running a pool task). */
+    void lock() SIM_ACQUIRE() { lk.lock(); }
+    /** Drop the lock early; the destructor then does nothing. */
+    void unlock() SIM_RELEASE() { lk.unlock(); }
+
+    /** The managed lock, for std::condition_variable::wait. */
+    std::unique_lock<std::mutex> &native() { return lk; }
+
+  private:
+    std::unique_lock<std::mutex> lk;
+};
+
+} // namespace garibaldi
+
+#endif // GARIBALDI_COMMON_SHARING_HH

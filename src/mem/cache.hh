@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sharing.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache_line.hh"
@@ -257,9 +258,13 @@ class Cache
                              std::uint32_t first_invalid);
     std::uint32_t pickPartitionVictim(std::uint32_t set, bool instr_class);
 
-    CacheParams params;
-    std::uint32_t nSets;
-    std::vector<CacheLine> linesArr;
+    // Sharing classification (src/common/sharing.hh): a Cache instance
+    // is owned by exactly one worker between epoch barriers — caches
+    // are sharded by level/bank, so everything that mutates per access
+    // is SIM_PER_WORKER; only the aggregate stats merge across shards.
+    SIM_SHARED_CONST CacheParams params;
+    SIM_SHARED_CONST std::uint32_t nSets;
+    SIM_PER_WORKER std::vector<CacheLine> linesArr;
     /**
      * SoA probe metadata: per-frame line-number tag, kInvalidProbeTag
      * when the frame is invalid.  The per-access tag scan and the
@@ -268,24 +273,24 @@ class Cache
      * linesArr stays authoritative for everything else (lineAt, dirty
      * bits, eviction metadata).
      */
-    std::vector<Addr> probeTags;
-    std::unique_ptr<ReplacementPolicy> repl;
+    SIM_PER_WORKER std::vector<Addr> probeTags;
+    SIM_PER_WORKER std::unique_ptr<ReplacementPolicy> repl;
     /** Devirtualized hot-path view of *repl (same object). */
-    PolicyDispatch pol;
-    CacheStats stat;
-    LlcCompanion *companion = nullptr;
-    Cycle qbsCycles = 0;
-    Tick useTick = 0;
-    PendingTable pending;
-    FlatLineSet oracleSeen;
+    SIM_PER_WORKER PolicyDispatch pol;
+    SIM_EPOCH_MERGED(sum) CacheStats stat;
+    SIM_SHARED_CONST LlcCompanion *companion = nullptr;
+    SIM_PER_WORKER Cycle qbsCycles = 0;
+    SIM_PER_WORKER Tick useTick = 0;
+    SIM_PER_WORKER PendingTable pending;
+    SIM_PER_WORKER FlatLineSet oracleSeen;
     /** Per-slot busy-until cycles; sized at construction (empty when
      *  the contention model is off) so the demand path never allocates. */
-    std::vector<Cycle> tagBusyUntil;
-    std::vector<Cycle> dataBusyUntil;
+    SIM_PER_WORKER std::vector<Cycle> tagBusyUntil;
+    SIM_PER_WORKER std::vector<Cycle> dataBusyUntil;
     /** Newest *issue time* seen by reserveSlot (not reservation-start
      *  time, which fills schedule in the future); requests issued more
      *  than kBackfillSlack behind it backfill past capacity. */
-    Cycle lastArrival = 0;
+    SIM_PER_WORKER Cycle lastArrival = 0;
 };
 
 } // namespace garibaldi

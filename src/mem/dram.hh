@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/sharing.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -191,34 +192,38 @@ class Dram
     /** First cycle at or after @p t outside every refresh window. */
     Cycle afterRefresh(Cycle t) const;
 
-    DramParams params;
+    // Sharing classification: the per-channel books are channel-sharded
+    // (one worker owns a channel between epoch barriers), the counters
+    // and histograms are commutative epoch merges.
+    SIM_SHARED_CONST DramParams params;
     /** Per-channel slot busy-until, flattened [channel * ports]. */
-    std::vector<Cycle> busyUntil;
+    SIM_PER_WORKER std::vector<Cycle> busyUntil;
     /** Per-channel newest arrival seen (the backfill ordering key). */
-    std::vector<Cycle> lastArrival;
+    SIM_PER_WORKER std::vector<Cycle> lastArrival;
     /** Per-channel open row (kNoOpenRow = precharged). */
-    std::vector<std::uint64_t> openRow;
+    SIM_PER_WORKER std::vector<std::uint64_t> openRow;
     /** Per-channel last bus direction (-1 none, 0 read, 1 write). */
-    std::vector<std::int8_t> busDir;
+    SIM_PER_WORKER std::vector<std::int8_t> busDir;
     /** Per-channel newest refresh epoch observed (closes the row). */
-    std::vector<Cycle> refreshEpoch;
-    std::uint64_t nReads = 0;
-    std::uint64_t nWrites = 0;
-    std::uint64_t queuedCycles = 0;
-    std::uint64_t nBackfills = 0;
-    std::uint64_t backfillQueuedCycles = 0;
+    SIM_PER_WORKER std::vector<Cycle> refreshEpoch;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nReads = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nWrites = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t queuedCycles = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nBackfills = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t backfillQueuedCycles = 0;
     /** Row-leg outcome counts over ALL accesses (reads + writes). */
-    std::uint64_t rowCount[3] = {0, 0, 0};
+    SIM_EPOCH_MERGED(sum) std::uint64_t rowCount[3] = {0, 0, 0};
     /** Reads per leg and their summed device-leg latency. */
-    std::uint64_t legReads[3] = {0, 0, 0};
-    std::uint64_t legReadCycles[3] = {0, 0, 0};
+    SIM_EPOCH_MERGED(sum) std::uint64_t legReads[3] = {0, 0, 0};
+    SIM_EPOCH_MERGED(sum) std::uint64_t legReadCycles[3] = {0, 0, 0};
     /** Summed full (queue + device) latency over all reads. */
-    std::uint64_t readLatCycles = 0;
-    std::uint64_t nTurnarounds = 0;
-    std::uint64_t turnaroundStallCycles = 0;
-    std::uint64_t nRefreshBlocked = 0;
-    std::uint64_t refreshStallCycles = 0;
-    Histogram queueDelay{8, 64};
+    SIM_EPOCH_MERGED(sum) std::uint64_t readLatCycles = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nTurnarounds = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t turnaroundStallCycles = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nRefreshBlocked = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t refreshStallCycles = 0;
+    SIM_EPOCH_MERGED(histogram_merge) Histogram queueDelay{8, 64};
+    SIM_EPOCH_MERGED(histogram_merge)
     Histogram legLatency[3] = {{16, 32}, {16, 32}, {16, 32}};
 };
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "common/sharing.hh"
 #include "common/stats.hh"
 #include "obs/obs_config.hh"
 #include "obs/telemetry.hh"
@@ -55,9 +56,11 @@ class ObsSubsystem
     const ObsConfig &config() const { return cfg; }
 
   private:
-    ObsConfig cfg;
-    std::unique_ptr<Tracer> tracer_;
-    std::unique_ptr<TelemetrySink> telemetry_;
+    // Handles are wired at construction; the pointed-to tracer/sink
+    // carry their own member classifications.
+    SIM_SHARED_CONST ObsConfig cfg;
+    SIM_SHARED_CONST std::unique_ptr<Tracer> tracer_;
+    SIM_SHARED_CONST std::unique_ptr<TelemetrySink> telemetry_;
 };
 
 /**

@@ -42,7 +42,7 @@ double
 ExperimentContext::soloIpc(const std::string &workload) const
 {
     {
-        std::lock_guard<std::mutex> lk(soloMutex);
+        SimLock lk(soloMutex);
         auto it = soloCache.find(workload);
         if (it != soloCache.end())
             return it->second;
@@ -61,7 +61,7 @@ ExperimentContext::soloIpc(const std::string &workload) const
     Mix m = homogeneousMix(workload, 1);
     SimResult r = run(solo, m);
     double ipc = r.cores.at(0).ipc;
-    std::lock_guard<std::mutex> lk(soloMutex);
+    SimLock lk(soloMutex);
     soloCache.emplace(workload, ipc);
     return ipc;
 }

@@ -16,10 +16,10 @@
 #define GARIBALDI_SIM_EXPERIMENT_HH
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sharing.hh"
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
 #include "sim/system_config.hh"
@@ -71,11 +71,12 @@ class ExperimentContext
     std::uint64_t detailedInstructions() const { return detailed; }
 
   private:
-    SystemConfig base;
-    std::uint64_t warmup;
-    std::uint64_t detailed;
-    mutable std::mutex soloMutex;
-    mutable std::map<std::string, double> soloCache;
+    SIM_SHARED_CONST SystemConfig base;
+    SIM_SHARED_CONST std::uint64_t warmup;
+    SIM_SHARED_CONST std::uint64_t detailed;
+    mutable SimMutex soloMutex;
+    mutable std::map<std::string, double>
+        soloCache SIM_GUARDED_BY(soloMutex);
 };
 
 } // namespace garibaldi

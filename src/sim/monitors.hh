@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/sharing.hh"
 #include "common/stats.hh"
 #include "mem/flat_tables.hh"
 #include "mem/hierarchy.hh"
@@ -57,17 +58,17 @@ class ReuseDistanceMonitor : public LlcEventListener
     StatSet stats() const;
 
   private:
-    std::uint32_t numSets;
-    unsigned sampleShift;
+    SIM_SHARED_CONST std::uint32_t numSets;
+    SIM_SHARED_CONST unsigned sampleShift;
     /**
      * Per sampled set: LRU stack of line addresses (front = MRU).
      * Dense, indexed by set >> sampleShift — only sets whose low
      * sampleShift bits are zero are observed, so the mapping is a
      * bijection onto [0, numSets >> sampleShift).
      */
-    std::vector<std::vector<Addr>> stacks;
-    Histogram instrDist{1, 256};
-    Histogram dataDist{1, 256};
+    SIM_PER_WORKER std::vector<std::vector<Addr>> stacks; // set-sharded
+    SIM_EPOCH_MERGED(histogram_merge) Histogram instrDist{1, 256};
+    SIM_EPOCH_MERGED(histogram_merge) Histogram dataDist{1, 256};
 };
 
 /** Per-line access frequency split by class. */
@@ -93,10 +94,10 @@ class LineFrequencyMonitor : public LlcEventListener
 
   private:
     /** Keyed by line number (open-addressed; no per-node allocation). */
-    FlatLineMap<std::uint32_t> instrCounts;
-    FlatLineMap<std::uint32_t> dataCounts;
-    std::uint64_t instrAccesses = 0;
-    std::uint64_t dataAccesses = 0;
+    SIM_PER_WORKER FlatLineMap<std::uint32_t> instrCounts; // addr-sharded
+    SIM_PER_WORKER FlatLineMap<std::uint32_t> dataCounts;  // addr-sharded
+    SIM_EPOCH_MERGED(sum) std::uint64_t instrAccesses = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t dataAccesses = 0;
 };
 
 /** Fig. 4(c): instruction miss rate conditioned on paired-data hotness. */
@@ -144,9 +145,9 @@ class PairingMonitor : public LlcEventListener
     };
 
     /** Keyed by instruction line number (PC-derived). */
-    FlatLineMap<InstrLineStats> instrLines;
+    SIM_PER_WORKER FlatLineMap<InstrLineStats> instrLines; // addr-sharded
     /** Data line number -> consecutive-distinct sharer sketch. */
-    FlatLineMap<SharerEntry> dataSharers;
+    SIM_PER_WORKER FlatLineMap<SharerEntry> dataSharers; // addr-sharded
 };
 
 /**
@@ -202,9 +203,9 @@ class BankQueueMonitor : public LlcEventListener
         std::uint64_t queueCycles = 0;
     };
 
-    std::vector<BankCounters> banks;
-    std::uint32_t interleaveShift;
-    Addr bankMask;
+    SIM_PER_WORKER std::vector<BankCounters> banks; // bank-sharded
+    SIM_SHARED_CONST std::uint32_t interleaveShift;
+    SIM_SHARED_CONST Addr bankMask;
 };
 
 } // namespace garibaldi

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/sharing.hh"
 #include "common/stats.hh"
 #include "core/cpi_stack.hh"
 #include "sim/system.hh"
@@ -81,7 +82,8 @@ class Simulator
     /** Instructions retired so far across all cores (post-reset). */
     std::uint64_t instructionsRetired() const;
 
-    System &sys;
+    /** The driven system: one simulator, one worker, one system. */
+    SIM_PER_WORKER System &sys;
 };
 
 } // namespace garibaldi

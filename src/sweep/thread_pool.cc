@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mtx);
+        SimLock lk(mtx);
         stopping = true;
     }
     cvTask.notify_all();
@@ -54,7 +54,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lk(mtx);
+        SimLock lk(mtx);
         queue.push_back(std::move(task));
     }
     cvTask.notify_one();
@@ -63,10 +63,12 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lk(mtx);
-    cvIdle.wait(lk, [this] {
-        return queueHead == queue.size() && inFlight == 0;
-    });
+    SimLock lk(mtx);
+    // Explicit wait loop (not a predicate lambda): every read of the
+    // guarded members stays in a region the thread-safety analysis can
+    // see the lock held in.
+    while (!drainedLocked())
+        cvIdle.wait(lk.native());
     // Reclaim the drained queue so long-lived pools don't grow.
     queue.clear();
     queueHead = 0;
@@ -75,16 +77,12 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lk(mtx);
+    SimLock lk(mtx);
     while (true) {
-        cvTask.wait(lk, [this] {
-            return stopping || queueHead < queue.size();
-        });
-        if (queueHead >= queue.size()) {
-            if (stopping)
-                return;
-            continue;
-        }
+        while (!stopping && queueHead >= queue.size())
+            cvTask.wait(lk.native());
+        if (queueHead >= queue.size())
+            return; // stopping, and nothing left to run
         std::function<void()> task = std::move(queue[queueHead]);
         ++queueHead;
         ++inFlight;
@@ -92,7 +90,7 @@ ThreadPool::workerLoop()
         task();
         lk.lock();
         --inFlight;
-        if (queueHead == queue.size() && inFlight == 0)
+        if (drainedLocked())
             cvIdle.notify_all();
     }
 }

@@ -9,6 +9,13 @@
  * an atomic counter, which keeps workers busy regardless of per-job
  * runtime variance while leaving result ordering to the caller's
  * index-addressed output array — execution order never affects output.
+ *
+ * This is one of the two genuinely concurrent subsystems in the tree
+ * (the other is ExperimentContext's solo-IPC cache), so its lock
+ * discipline is enforced by the clang -Wthread-safety lane: the queue
+ * state is SIM_GUARDED_BY(mtx), helpers that expect the lock say
+ * SIM_REQUIRES(mtx), and every lock is a SimMutex/SimLock pair from
+ * src/common/sharing.hh.
  */
 
 #ifndef GARIBALDI_SWEEP_THREAD_POOL_HH
@@ -18,9 +25,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sharing.hh"
 
 namespace garibaldi
 {
@@ -65,14 +73,21 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::vector<std::thread> workers;
-    std::vector<std::function<void()>> queue; // FIFO via head index
-    std::size_t queueHead = 0;
-    std::size_t inFlight = 0;
-    bool stopping = false;
-    std::mutex mtx;
-    std::condition_variable cvTask;  //!< workers wait for tasks
-    std::condition_variable cvIdle;  //!< wait() waits for drain
+    /** Queue empty and nothing running — wait()'s wake condition. */
+    bool drainedLocked() const SIM_REQUIRES(mtx)
+    {
+        return queueHead == queue.size() && inFlight == 0;
+    }
+
+    SIM_SHARED_CONST std::vector<std::thread> workers;
+    // FIFO via head index
+    std::vector<std::function<void()>> queue SIM_GUARDED_BY(mtx);
+    std::size_t queueHead SIM_GUARDED_BY(mtx) = 0;
+    std::size_t inFlight SIM_GUARDED_BY(mtx) = 0;
+    bool stopping SIM_GUARDED_BY(mtx) = false;
+    SimMutex mtx;
+    SIM_SHARED_SYNC std::condition_variable cvTask; //!< workers await tasks
+    SIM_SHARED_SYNC std::condition_variable cvIdle; //!< wait() awaits drain
 };
 
 } // namespace garibaldi

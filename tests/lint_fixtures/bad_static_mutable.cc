@@ -1,0 +1,29 @@
+// Fixture: hidden mutable statics at function and namespace scope.
+// Expected finding: static-mutable (twice), while the const/constexpr
+// statics and the static free function must NOT be flagged.
+#include <cstdint>
+
+namespace fixture
+{
+
+static std::uint64_t callTally = 0; // finding: namespace-scope mutable
+
+static constexpr std::uint64_t kStep = 2; // clean: constexpr
+static const char *const kLabel = "tally"; // clean: const
+
+static std::uint64_t
+bump() // clean: static linkage on a function, not state
+{
+    static std::uint64_t localTally{0}; // finding: function-local state
+    localTally += kStep;
+    callTally += kStep;
+    return localTally + (kLabel ? 1u : 0u);
+}
+
+} // namespace fixture
+
+std::uint64_t
+useFixture()
+{
+    return fixture::bump();
+}

@@ -63,6 +63,7 @@ expect_finding bad_raw_entropy.cc raw-entropy
 expect_finding bad_wall_clock.cc wall-clock
 expect_finding bad_pointer_ordering.cc pointer-ordering
 expect_finding bad_float_counter.cc float-counter
+expect_finding bad_static_mutable.cc static-mutable
 expect_finding bad_bare_allow.cc unordered-iteration bad-allow
 
 expect_clean "clean.cc" "$HERE/clean.cc"

@@ -1,0 +1,19 @@
+// Fixture: waivers must carry a justification and name a real rule.
+// Run with --boundary FixtureQueue.
+// Expected findings: bad-allow (twice — one bare, one typo'd).
+#ifndef FIXTURE_BAD_BARE_ALLOW_HH
+#define FIXTURE_BAD_BARE_ALLOW_HH
+
+#include <cstdint>
+
+class FixtureQueue
+{
+  private:
+    // sharing-lint: allow(unannotated-boundary-member)
+    std::uint64_t head = 0; // waived, but bare: bad-allow
+
+    // sharing-lint: allow(unanotated-boundary-member) typo'd rule name
+    SIM_PER_WORKER std::uint64_t tail = 0; // bad-allow: unknown rule
+};
+
+#endif

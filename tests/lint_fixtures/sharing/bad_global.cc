@@ -1,0 +1,30 @@
+// Fixture: mutable state at file and namespace scope without a
+// classification marker.
+// Expected finding: unannotated-global (twice), while the const table,
+// the annotated atomic, and the functions must stay clean.
+#include <atomic>
+#include <cstdint>
+
+#include "common/sharing.hh"
+
+std::uint64_t globalTally = 0; // finding: file scope, no marker
+
+namespace fixture
+{
+
+std::uint64_t nsTally = 0; // finding: namespace scope, no marker
+
+SIM_SHARED_SYNC std::atomic<std::uint64_t> syncTally{0}; // clean
+
+const std::uint64_t kLimit = 64; // clean: immutable
+
+std::uint64_t
+bump()
+{
+    ++globalTally;
+    ++nsTally;
+    syncTally.fetch_add(1, std::memory_order_relaxed);
+    return kLimit;
+}
+
+} // namespace fixture

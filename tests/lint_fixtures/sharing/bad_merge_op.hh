@@ -1,0 +1,22 @@
+// Fixture: SIM_EPOCH_MERGED with a non-commutative merge operation.
+// Run with --boundary FixtureStats.
+// Expected finding: bad-merge-op (the sum/min/max/histogram_merge
+// members must stay clean).
+#ifndef FIXTURE_BAD_MERGE_OP_HH
+#define FIXTURE_BAD_MERGE_OP_HH
+
+#include <cstdint>
+
+#include "common/sharing.hh"
+
+class FixtureStats
+{
+  private:
+    SIM_EPOCH_MERGED(sum) std::uint64_t nHits = 0;
+    SIM_EPOCH_MERGED(min) std::uint64_t firstCycle = 0;
+    SIM_EPOCH_MERGED(max) std::uint64_t lastCycle = 0;
+    SIM_EPOCH_MERGED(average) double meanLatency = 0; // finding:
+    // averaging is order-dependent; merge the sum and count instead
+};
+
+#endif

@@ -1,0 +1,24 @@
+// Fixture: a boundary-class data member with no classification marker.
+// Run with --boundary FixtureBank.
+// Expected finding: unannotated-boundary-member (exactly one — the
+// annotated members and the method must stay clean).
+#ifndef FIXTURE_BAD_UNANNOTATED_MEMBER_HH
+#define FIXTURE_BAD_UNANNOTATED_MEMBER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sharing.hh"
+
+class FixtureBank
+{
+  public:
+    std::uint64_t reads() const { return nReads; }
+
+  private:
+    SIM_SHARED_CONST std::uint32_t ways;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nReads = 0;
+    std::vector<std::uint64_t> openRows; // finding: no marker
+};
+
+#endif

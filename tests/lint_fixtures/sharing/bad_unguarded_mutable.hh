@@ -1,0 +1,22 @@
+// Fixture: a mutable field with no SIM_GUARDED_BY capability.
+// Run with --boundary FixtureCacheFacade.
+// Expected findings: mutable-unguarded (the field is classified
+// per-worker, so unannotated-boundary-member must NOT also fire).
+#ifndef FIXTURE_BAD_UNGUARDED_MUTABLE_HH
+#define FIXTURE_BAD_UNGUARDED_MUTABLE_HH
+
+#include <cstdint>
+
+#include "common/sharing.hh"
+
+class FixtureCacheFacade
+{
+  public:
+    std::uint64_t lookups() const { return ++nLookups; }
+
+  private:
+    // finding: const-path mutation with no lock
+    SIM_PER_WORKER mutable std::uint64_t nLookups = 0;
+};
+
+#endif

@@ -1,0 +1,46 @@
+// Fixture: the guarded-mutable clean case — everything the analyzer
+// must accept without a finding: a SimMutex capability, a mutable
+// member guarded by it, a SIM_REQUIRES helper, every classification
+// marker, and a justified waiver.
+// Run with --boundary FixtureLedger.
+#ifndef FIXTURE_CLEAN_GUARDED_HH
+#define FIXTURE_CLEAN_GUARDED_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sharing.hh"
+
+class FixtureLedger
+{
+  public:
+    double
+    cached(const std::string &key) const
+    {
+        garibaldi::SimLock lk(mu);
+        return entriesLocked(key);
+    }
+
+  private:
+    double entriesLocked(const std::string &key) const
+        SIM_REQUIRES(mu)
+    {
+        auto it = entries.find(key);
+        return it == entries.end() ? 0.0 : it->second;
+    }
+
+    SIM_SHARED_CONST std::uint32_t lanes = 4;
+    SIM_PER_WORKER std::vector<std::uint64_t> scratch;
+    SIM_SHARED_SYNC std::condition_variable cv;
+    SIM_EPOCH_MERGED(sum) std::uint64_t nInserts = 0;
+    SIM_EPOCH_MERGED(histogram_merge) std::vector<std::uint64_t> dist;
+    mutable garibaldi::SimMutex mu;
+    mutable std::map<std::string, double> entries SIM_GUARDED_BY(mu);
+    // sharing-lint: allow(unannotated-boundary-member) exercised waiver: justified escape hatch for genuinely unresolved members
+    std::uint64_t pendingRework = 0;
+};
+
+#endif
