@@ -44,10 +44,13 @@ The justification is mandatory; a bare allow() is itself a finding.
 Waivers are recorded in the emitted map — a waived member is still
 visible to the parallelism work, marked as an open obligation.
 
-Usage: analyze_sharing.py [--emit PATH] [--boundary NAME]...
-                          [--list-rules] <file-or-dir>...
+Usage: analyze_sharing.py [--emit PATH] [--json PATH]
+                          [--boundary NAME]... [--list-rules]
+                          <file-or-dir>...
 --boundary replaces (not extends) the built-in boundary-class set; the
-fixture corpus uses it to test against its own class names.
+fixture corpus uses it to test against its own class names.  --json
+writes the common machine-readable findings report (rule, file, line,
+message) that ci.sh aggregates across all three lints.
 Exit status: 0 when clean, 1 when findings (or bad usage).
 """
 
@@ -57,7 +60,8 @@ import re
 import sys
 
 from cpp_scan import (LineIndex, brace_scopes, collapse_angles,
-                      direct_statements, strip_code, strip_preproc)
+                      direct_statements, strip_code, strip_preproc,
+                      write_findings_json)
 
 RULES = (
     "unannotated-boundary-member",
@@ -346,7 +350,7 @@ def gather(targets):
 
 
 def main(argv):
-    emit_path = None
+    emit_path = json_path = None
     boundary = []
     paths = []
     args = argv[1:]
@@ -356,13 +360,15 @@ def main(argv):
         if a == "--list-rules":
             print("\n".join(RULES))
             return 0
-        if a in ("--emit", "--boundary"):
+        if a in ("--emit", "--boundary", "--json"):
             if i + 1 >= len(args):
                 print("analyze_sharing: %s needs a value" % a,
                       file=sys.stderr)
                 return 1
             if a == "--emit":
                 emit_path = args[i + 1]
+            elif a == "--json":
+                json_path = args[i + 1]
             else:
                 boundary.append(args[i + 1])
             i += 2
@@ -407,6 +413,8 @@ def main(argv):
         with open(emit_path, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2, sort_keys=True)
             f.write("\n")
+    if json_path:
+        write_findings_json(json_path, "analyze_sharing", findings)
 
     for f in findings:
         print(f)

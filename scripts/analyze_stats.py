@@ -1,0 +1,682 @@
+#!/usr/bin/env python3
+"""Cross-TU stat-semantics analyzer for the Garibaldi simulator.
+
+Every name a module exports through StatSet::add carries a declared
+kind (src/common/stat_kind.hh): counter, rate(num,den), gauge,
+quantile or histogram_summary.  The kind fixes the windowing rule
+(subtract / recompute / keep-last) and the cross-worker merge op
+(sum / recompute / last) — the contract sim/metrics.cc applies at
+window boundaries and the intra-sim parallelism work will apply at
+epoch barriers.  This analyzer parses the SIM_STATS declaration
+blocks and every StatSet::add call site cross-TU and hard-fails when
+the two drift; `--emit` writes build/stat_map.json, the
+machine-readable stat contract the sharding PR consumes alongside
+PR 9's sharing_map.json.
+
+Rules:
+
+  undeclared-stat       a StatSet::add call site whose name (literal,
+                        or literal skeleton of a composed name) matches
+                        no SIM_STAT declaration.
+  unexported-stat       a declared stat with no matching add site
+                        anywhere in the scanned tree: dead contract
+                        entries hide renames.
+  suffix-kind           a declared name whose suffix promises a
+                        different kind: *_rate / avg_* must be rate,
+                        *_p50/_p90/_p95/_p99 must be quantile.
+  rate-raws-undeclared  a rate's numerator/denominator counters ('+'-
+                        joined sibling names) are not themselves
+                        declared counters — the windowed recompute
+                        would read absent names as zero.
+  gate-mismatch         a SIM_STAT_GATED stat whose add site is not
+                        enclosed in a conditional naming the gate
+                        token: the stat would export with the feature
+                        off and widen the knobs-off surface.
+  name-collision        the same stat name declared with different
+                        kinds by different producers: resolution must
+                        be unambiguous (same-kind re-declarations of
+                        shared names like "hits" are fine).
+  merge-mismatch        (with --sharing-map) a stat computed from a
+                        SIM_EPOCH_MERGED(op) member whose declared
+                        merge op cannot be derived from op-merged
+                        state (e.g. a sum-merged counter exported as a
+                        gauge that merges as last).
+  bad-allow             an allow() naming no known rule, or an allow()
+                        without a justification.
+
+Suppression: a finding is waived by an annotation on the same line or
+the line directly above:
+
+    // stat-lint: allow(<rule>) <justification>
+
+The justification is mandatory; a bare allow() is itself a finding.
+Waivers are recorded in the emitted map.
+
+Usage: analyze_stats.py [--emit PATH] [--sharing-map PATH]
+                        [--json PATH] [--list-rules] <file-or-dir>...
+Exit status: 0 when clean, 1 when findings (or bad usage).
+"""
+
+import json
+import os
+import re
+import sys
+
+from cpp_scan import (LineIndex, brace_scopes, strip_code,
+                      strip_preproc, write_findings_json)
+
+RULES = (
+    "undeclared-stat",
+    "unexported-stat",
+    "suffix-kind",
+    "rate-raws-undeclared",
+    "gate-mismatch",
+    "name-collision",
+    "merge-mismatch",
+    "bad-allow",
+)
+
+KINDS = ("counter", "rate", "gauge", "quantile", "histogram_summary")
+
+# Kind -> (windowing rule, cross-worker merge op).  Must mirror
+# windowRuleOf/mergeOpOf in src/common/stat_kind.cc; stat_map_test
+# pins a sample of both against the emitted map.
+KIND_WINDOW = {
+    "counter": "subtract",
+    "rate": "recompute",
+    "gauge": "keep-last",
+    "quantile": "keep-last",
+    "histogram_summary": "keep-last",
+}
+KIND_MERGE = {
+    "counter": "sum",
+    "rate": "recompute",
+    "gauge": "last",
+    "quantile": "recompute",
+    "histogram_summary": "recompute",
+}
+
+# Mirror of StatKindRegistry::quantileSuffixes().
+QUANTILE_SUFFIXES = ("_p50", "_p90", "_p95", "_p99")
+
+# sharing_map SIM_EPOCH_MERGED(op) -> stat merge ops derivable from
+# op-merged state.  sum and histogram_merge members admit additive
+# projections (counters) and recomputed summaries; min/max members
+# only admit recomputed stats (their sum is meaningless).
+MERGE_COMPAT = {
+    "sum": ("sum", "recompute"),
+    "histogram_merge": ("sum", "recompute"),
+    "min": ("recompute",),
+    "max": ("recompute",),
+}
+
+EXTS = (".cc", ".hh", ".cpp", ".hpp", ".h")
+
+ALLOW_RE = re.compile(r"//\s*stat-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+# Sentinel standing in for "some dynamic text" when a declared
+# wildcard name is matched against a site pattern (and vice versa).
+_DYN = "\x00"
+
+
+class Finding:
+    def __init__(self, path, line, rule, msg):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.msg)
+
+
+def collect_allows(raw_lines):
+    allows = {}
+    for ln, line in enumerate(raw_lines, 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allows[ln] = (m.group(1), m.group(2).strip())
+    return allows
+
+
+class FileReport:
+    """Per-file scan state: findings plus waiver bookkeeping."""
+
+    def __init__(self, path, rel, allows):
+        self.path, self.rel, self.allows = path, rel, allows
+        self.findings = []
+        self.waivers = []
+
+    def emit(self, l1, l2, rule, msg):
+        """Record a finding unless an allow() within [l1-1, l2] waives
+        it.  Returns True when the finding was waived."""
+        for ln in range(l1 - 1, l2 + 1):
+            a = self.allows.get(ln)
+            if a and a[0] == rule:
+                if not a[1]:
+                    self.findings.append(Finding(
+                        self.path, ln, "bad-allow",
+                        "allow() without a justification"))
+                self.waivers.append({
+                    "file": self.rel, "line": ln, "rule": rule,
+                    "justification": a[1]})
+                return True
+        self.findings.append(Finding(self.path, l1, rule, msg))
+        return False
+
+    def check_allow_names(self):
+        for ln in sorted(self.allows):
+            rule = self.allows[ln][0]
+            if rule not in RULES:
+                self.findings.append(Finding(
+                    self.path, ln, "bad-allow",
+                    "allow(%s) names no known rule (known: %s)"
+                    % (rule, ", ".join(RULES))))
+
+
+def balanced_span(stripped, open_idx):
+    """End index (exclusive, past the ')') of the paren group opening
+    at stripped[open_idx] == '('."""
+    depth = 0
+    for i in range(open_idx, len(stripped)):
+        c = stripped[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(stripped)
+
+
+def split_top_commas(stripped, a, b):
+    """Spans of the top-level comma-separated pieces of
+    stripped[a:b]."""
+    pieces = []
+    depth = 0
+    start = a
+    for i in range(a, b):
+        c = stripped[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            pieces.append((start, i))
+            start = i + 1
+    pieces.append((start, b))
+    return pieces
+
+
+def literals_in(stripped, raw, a, b):
+    """String literals of stripped[a:b], contents recovered from the
+    offset-identical raw text (strip_code blanks literal contents but
+    preserves the quote characters in place)."""
+    out = []
+    i = a
+    while i < b:
+        if stripped[i] == '"':
+            j = stripped.find('"', i + 1)
+            if j < 0 or j >= b:
+                break
+            out.append((i, raw[i + 1:j]))
+            i = j + 1
+        else:
+            i += 1
+    return out
+
+
+def site_pattern(stripped, raw, a, b):
+    """Literal skeleton of a name expression: string literals joined
+    in order, with every non-literal segment (variables, function
+    calls) collapsed to '*'.  `prefix + "accesses"` -> '*accesses';
+    `"avg_" + p + "_latency"` -> 'avg_*_latency'."""
+    parts = []
+    pending_var = False
+    i = a
+    while i < b:
+        c = stripped[i]
+        if c == '"':
+            j = stripped.find('"', i + 1)
+            if j < 0 or j >= b:
+                break
+            if pending_var:
+                parts.append("*")
+                pending_var = False
+            parts.append(raw[i + 1:j])
+            i = j + 1
+            continue
+        if not c.isspace() and c != "+":
+            pending_var = True
+        i += 1
+    if pending_var:
+        parts.append("*")
+    pat = "".join(parts)
+    return re.sub(r"\*+", "*", pat)
+
+
+def _glob_re(pattern):
+    return re.compile(
+        ".*".join(re.escape(p) for p in pattern.split("*")) + r"\Z",
+        re.S)
+
+
+def patterns_overlap(site, decl):
+    """True when the site's literal skeleton is consistent with the
+    declared name.  Either side may hold '*' wildcards; the other
+    side's wildcards are matched by a sentinel so 'bank*.accesses'
+    meets '*accesses' and a fully-literal site meets 'lat.*.count'."""
+    if "*" not in site and "*" not in decl:
+        return site == decl
+    if _glob_re(site).match(decl.replace("*", _DYN)):
+        return True
+    return bool(_glob_re(decl).match(site.replace("*", _DYN)))
+
+
+def scope_head(stripped, open_idx):
+    """Head text of the brace/paren scope opening at open_idx: the
+    text since the previous ';', '{' or '}'."""
+    start = open_idx - 1
+    while start >= 0 and stripped[start] not in ";{}":
+        start -= 1
+    return stripped[start + 1:open_idx]
+
+
+def enclosing_scopes(scopes, idx):
+    """Scopes containing character idx, outermost first."""
+    return sorted((s for s in scopes
+                   if s.open_idx < idx < s.close_idx),
+                  key=lambda s: s.open_idx)
+
+
+def producer_of(stripped, scopes, idx):
+    """Qualifying class of the member function enclosing idx
+    (`CacheStats` for a site inside CacheStats::toStatSet), or None
+    outside any X::y definition."""
+    for s in enclosing_scopes(scopes, idx):
+        if s.kind != "other" or not s.ns_chain(scopes):
+            continue
+        m = None
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\s*::\s*~?[A-Za-z_]\w*"
+                             r"\s*\(", scope_head(stripped, s.open_idx)):
+            pass
+        if m:
+            return m.group(1)
+    return None
+
+
+class StatDecl:
+    """One declared stat name, possibly re-declared by several
+    producers (which must agree on the kind)."""
+
+    def __init__(self, name, kind, num, den, rel, line):
+        self.name, self.kind = name, kind
+        self.num, self.den = num, den
+        self.file, self.line = rel, line
+        self.producers = {}  # producer -> gate (None = unconditional)
+        self.exported = False
+
+
+class Model:
+    """Everything the scan learned: declarations, sites, findings."""
+
+    def __init__(self):
+        self.decls = {}     # name -> StatDecl
+        self.reports = []   # FileReport per scanned file
+        self.sites = []     # dicts: pattern, producer, file, line, ...
+        self.extra = []     # findings with no natural file anchor
+        self.add_sites = 0
+        self.matched_sites = 0
+
+    def findings(self):
+        out = []
+        for rep in self.reports:
+            out.extend(rep.findings)
+        out.extend(self.extra)
+        return out
+
+    def waivers(self):
+        out = []
+        for rep in self.reports:
+            out.extend(rep.waivers)
+        return out
+
+
+_STATS_BLOCK_RE = re.compile(r"\bSIM_STATS\s*\(")
+_STAT_ENTRY_RE = re.compile(r"\bSIM_STAT(_GATED)?\s*\(")
+_ADD_RE = re.compile(r"\.\s*add\s*\(")
+
+
+def scan_decls(model, rep, raw, text, li):
+    """Parse every SIM_STATS block of one file into model.decls,
+    checking the per-declaration rules.  `text` is comment- AND
+    preprocessor-stripped so the macro definitions in stat_kind.hh
+    don't read as declaration blocks; invocations at namespace scope
+    survive."""
+    for bm in _STATS_BLOCK_RE.finditer(text):
+        bopen = bm.end() - 1
+        bend = balanced_span(text, bopen)
+        pm = re.match(r"\s*([A-Za-z_]\w*)\s*,", text[bopen + 1:bend])
+        producer = pm.group(1) if pm else "?"
+        for em in _STAT_ENTRY_RE.finditer(text, bm.end(), bend):
+            gated = em.group(1) is not None
+            eopen = em.end() - 1
+            eend = balanced_span(text, eopen)
+            l1 = li.line_of(em.start())
+            l2 = li.line_of(eend - 1)
+            lits = [v for _, v in literals_in(text, raw, eopen, eend)]
+            entry = text[eopen:eend]
+            is_rate = re.search(r"\brate\s*\(", entry) is not None
+            kind = "rate" if is_rate else next(
+                (k for k in KINDS
+                 if re.search(r"\b%s\b" % k, entry)), None)
+            want = (3 if is_rate else 1) + (1 if gated else 0)
+            if kind is None or len(lits) != want:
+                rep.findings.append(Finding(
+                    rep.path, l1, "bad-allow",
+                    "unparseable SIM_STAT entry (kind %r, %d literals, "
+                    "expected %d)" % (kind, len(lits), want)))
+                continue
+            name = lits[0]
+            num = lits[1] if is_rate else None
+            den = lits[2] if is_rate else None
+            gate = lits[-1] if gated else None
+
+            _check_suffix_kind(rep, l1, l2, name, kind)
+
+            d = model.decls.get(name)
+            if d is None:
+                d = StatDecl(name, kind, num, den, rep.rel, l1)
+                model.decls[name] = d
+            elif d.kind != kind or d.num != num or d.den != den:
+                rep.emit(l1, l2, "name-collision",
+                         "'%s' declared as %s here but %s at %s:%d; "
+                         "one name, one kind" %
+                         (name, kind, d.kind, d.file, d.line))
+                continue
+            d.producers[producer] = gate
+
+
+def _check_suffix_kind(rep, l1, l2, name, kind):
+    last = name.rsplit(".", 1)[-1]
+    if any(name.endswith(sfx) for sfx in QUANTILE_SUFFIXES):
+        if kind != "quantile":
+            rep.emit(l1, l2, "suffix-kind",
+                     "'%s' carries a percentile suffix but is declared "
+                     "%s; *_p50/_p90/_p95/_p99 window as quantiles"
+                     % (name, kind))
+    elif (name.endswith("_rate") or last.startswith("avg_")) and \
+            kind != "rate":
+        rep.emit(l1, l2, "suffix-kind",
+                 "'%s' is named like a derived rate but is declared "
+                 "%s; *_rate / avg_* must be rate(num, den) so "
+                 "windowing recomputes instead of subtracting"
+                 % (name, kind))
+
+
+def scan_sites(model, rep, raw, stripped, li, scopes):
+    """Record every StatSet::add call site with a literal (or
+    literal-skeleton) name in one file."""
+    for am in _ADD_RE.finditer(stripped):
+        aopen = am.end() - 1
+        aend = balanced_span(stripped, aopen)
+        args = split_top_commas(stripped, aopen + 1, aend - 1)
+        if len(args) < 2:
+            continue  # Histogram::add(value) and friends
+        a0, b0 = args[0]
+        if '"' not in stripped[a0:b0]:
+            continue  # name is a variable: windowing machinery, tests
+        pattern = site_pattern(stripped, raw, a0, b0)
+        if not pattern:
+            continue
+        heads = [scope_head(stripped, s.open_idx)
+                 for s in enclosing_scopes(scopes, am.start())
+                 if s.kind == "other"]
+        value_ids = set()
+        for a1, b1 in args[1:]:
+            value_ids.update(re.findall(
+                r"(?<![\w.>:])([A-Za-z_]\w*)", stripped[a1:b1]))
+        model.sites.append({
+            "rep": rep,
+            "pattern": pattern,
+            "producer": producer_of(stripped, scopes, am.start()),
+            "line": (li.line_of(am.start()), li.line_of(aend - 1)),
+            "heads": heads,
+            "value_ids": value_ids,
+        })
+
+
+def analyze_file(model, path, rel):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        rep = FileReport(path, rel, {})
+        rep.findings.append(Finding(path, 0, "io", str(e)))
+        model.reports.append(rep)
+        return
+    rep = FileReport(path, rel, collect_allows(raw.splitlines()))
+    # Both strips preserve offsets, so literal contents can be
+    # recovered from `raw` at identical positions.  Preprocessor
+    # blanking matters for the scope walk too: a leading #include
+    # would otherwise pollute the namespace head and misclassify the
+    # scope, breaking producer attribution for every member function.
+    text = strip_preproc(strip_code(raw))
+    li = LineIndex(text)
+    scan_decls(model, rep, raw, text, li)
+    scan_sites(model, rep, raw, text, li, brace_scopes(text))
+    model.reports.append(rep)
+
+
+def resolve_sites(model, sharing):
+    """Match every site against the declarations and run the
+    site-level rules (undeclared, gate, merge cross-check)."""
+    for site in model.sites:
+        rep, (l1, l2) = site["rep"], site["line"]
+        model.add_sites += 1
+        matched = [d for d in model.decls.values()
+                   if patterns_overlap(site["pattern"], d.name)]
+        prod = site["producer"]
+        own = [d for d in matched if prod in d.producers]
+        if own:
+            matched = own  # prefer the site's own producer's decls
+        if not matched:
+            rep.emit(l1, l2, "undeclared-stat",
+                     "add(\"%s\") matches no SIM_STAT declaration; "
+                     "declare its kind in this module's SIM_STATS "
+                     "block (src/common/stat_kind.hh)"
+                     % site["pattern"])
+            continue
+        model.matched_sites += 1
+        for d in matched:
+            d.exported = True
+            gate = d.producers.get(prod)
+            if gate is not None and not any(
+                    re.search(r"\b%s\b" % re.escape(gate), h)
+                    for h in site["heads"]):
+                rep.emit(l1, l2, "gate-mismatch",
+                         "'%s' is gated on '%s' but this add site is "
+                         "not inside a conditional naming it; the "
+                         "stat would export with the feature off"
+                         % (d.name, gate))
+            _check_merge(rep, l1, l2, site, d, sharing)
+
+
+def _check_merge(rep, l1, l2, site, decl, sharing):
+    if not sharing or site["producer"] is None:
+        return
+    members = sharing.get("classes", {}).get(
+        site["producer"], {}).get("members", {})
+    stat_merge = KIND_MERGE[decl.kind]
+    for ident in sorted(site["value_ids"]):
+        m = members.get(ident)
+        if not m or m.get("classification") != "epoch-merged":
+            continue
+        op = m.get("merge")
+        if op in MERGE_COMPAT and stat_merge not in MERGE_COMPAT[op]:
+            rep.emit(l1, l2, "merge-mismatch",
+                     "'%s' (%s, merges as %s) is computed from %s::%s,"
+                     " a SIM_EPOCH_MERGED(%s) member; a %s-merged stat"
+                     " cannot be derived from %s-merged state"
+                     % (decl.name, decl.kind, stat_merge,
+                        site["producer"], ident, op, stat_merge, op))
+
+
+def check_decls(model):
+    """Declaration-side rules needing the full cross-TU picture."""
+    by_file = {rep.rel: rep for rep in model.reports}
+    for name in sorted(model.decls):
+        d = model.decls[name]
+        rep = by_file.get(d.file)
+        if rep is None:
+            continue
+        if not d.exported:
+            rep.emit(d.line, d.line, "unexported-stat",
+                     "'%s' is declared but no StatSet::add site "
+                     "exports it; remove the declaration or restore "
+                     "the stat" % name)
+        if d.kind == "rate":
+            for raw_name in re.split(r"\+", d.num or "") + \
+                    re.split(r"\+", d.den or ""):
+                raw_name = raw_name.strip()
+                if not raw_name:
+                    continue
+                rd = model.decls.get(raw_name)
+                if rd is None or rd.kind != "counter":
+                    rep.emit(d.line, d.line, "rate-raws-undeclared",
+                             "rate '%s' recomputes from '%s', which "
+                             "is %s; every num/den token must be a "
+                             "declared counter"
+                             % (name, raw_name,
+                                "undeclared" if rd is None
+                                else "a " + rd.kind))
+
+
+def build_map(model):
+    stats = {}
+    for name in sorted(model.decls):
+        d = model.decls[name]
+        entry = {
+            "kind": d.kind,
+            "window": KIND_WINDOW[d.kind],
+            "merge": KIND_MERGE[d.kind],
+            "producers": {p: d.producers[p]
+                          for p in sorted(d.producers)},
+            "file": d.file,
+            "line": d.line,
+        }
+        if d.kind == "rate":
+            entry["num"] = d.num
+            entry["den"] = d.den
+        stats[name] = entry
+    producers = {}
+    for name, d in model.decls.items():
+        for p in d.producers:
+            producers.setdefault(p, []).append(name)
+    return {
+        "schema": "garibaldi-stat-map-v1",
+        "quantile_suffixes": list(QUANTILE_SUFFIXES),
+        "stats": stats,
+        "producers": {p: sorted(n) for p, n in producers.items()},
+        "coverage": {
+            "add_sites": model.add_sites,
+            "matched_sites": model.matched_sites,
+        },
+        "waivers": sorted(model.waivers(),
+                          key=lambda w: (w["file"], w["line"])),
+    }
+
+
+def gather(targets, tool="analyze_stats"):
+    files = []
+    for t in targets:
+        if os.path.isdir(t):
+            for root, dirs, names in os.walk(t):
+                dirs.sort()
+                for n in sorted(names):
+                    if n.endswith(EXTS):
+                        files.append(os.path.join(root, n))
+        elif os.path.isfile(t):
+            files.append(t)
+        else:
+            print("%s: no such path: %s" % (tool, t), file=sys.stderr)
+            sys.exit(1)
+    return files
+
+
+def analyze(paths, sharing=None):
+    """Scan `paths` (files or dirs) and return the populated Model.
+    Importable entry point (check_stat_refs.py builds on it)."""
+    model = Model()
+    for path in gather(paths):
+        rel = os.path.relpath(path).replace(os.sep, "/")
+        analyze_file(model, path, rel)
+    resolve_sites(model, sharing)
+    check_decls(model)
+    for rep in model.reports:
+        rep.check_allow_names()
+    return model
+
+
+def main(argv):
+    emit_path = json_path = sharing_path = None
+    paths = []
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--list-rules":
+            print("\n".join(RULES))
+            return 0
+        if a in ("--emit", "--sharing-map", "--json"):
+            if i + 1 >= len(args):
+                print("analyze_stats: %s needs a value" % a,
+                      file=sys.stderr)
+                return 1
+            if a == "--emit":
+                emit_path = args[i + 1]
+            elif a == "--sharing-map":
+                sharing_path = args[i + 1]
+            else:
+                json_path = args[i + 1]
+            i += 2
+            continue
+        paths.append(a)
+        i += 1
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+
+    sharing = None
+    if sharing_path:
+        try:
+            with open(sharing_path, encoding="utf-8") as f:
+                sharing = json.load(f)
+        except (OSError, ValueError) as e:
+            print("analyze_stats: cannot read sharing map %s: %s"
+                  % (sharing_path, e), file=sys.stderr)
+            return 1
+
+    model = analyze(paths, sharing)
+    findings = model.findings()
+
+    if emit_path:
+        doc = build_map(model)
+        d = os.path.dirname(emit_path)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(emit_path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if json_path:
+        write_findings_json(json_path, "analyze_stats", findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print("analyze_stats: %d finding(s)" % len(findings),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Golden-drift guard: every stat name the goldens and tests refer to
+must still exist in the stat contract.
+
+Builds the declaration model with analyze_stats.analyze() over src/
+and then checks two reference surfaces:
+
+  goldens   every `name  value` stat line of scripts/goldens/*.txt
+            (the two-column rows of the garibaldi counters block)
+            must resolve against a declared stat.
+  tests     every fully-literal .get("...") / .has("...") name in
+            tests/*.cc that looks like a stat reference (contains a
+            '.' or '_') must resolve, unless the test itself
+            synthesizes the name via .add("...") / .addAll("...", ...)
+            (StatSet-machinery unit tests exercise arbitrary names).
+
+Resolution mirrors StatKindRegistry::resolve: exact match, else a
+declared name as a suffix at a '.' boundary (addAll prefixes), else a
+wildcard declaration ("bank*.accesses"), also honored under a prefix.
+
+Renaming a stat without updating the goldens or the tests therefore
+fails this guard even when the analyzer itself stays clean — the
+contract covers consumers, not just producers.
+
+Map-schema tests (tests/*_map_test.cc) are skipped: their get() calls
+read JSON schema keys, not stat names.  A genuinely non-stat name in
+any other test is waived with a justified annotation on the same line
+or the line above:
+
+    // stat-refs: allow(<name>) <justification>
+
+Usage: check_stat_refs.py [--json PATH] [REPO_ROOT]
+Exit status: 0 when every reference resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from analyze_stats import Finding, analyze, patterns_overlap
+from cpp_scan import write_findings_json
+
+_GOLDEN_NAME_RE = re.compile(r"[A-Za-z_][\w.]*\Z")
+_REF_RE = re.compile(r"\.\s*(?:get|has)\s*\(\s*\"([^\"]*)\"\s*\)")
+_ADD_RE = re.compile(r"\.\s*add\s*\(\s*\"([^\"]*)\"")
+_ADDALL_RE = re.compile(r"\.\s*addAll\s*\(\s*\"([^\"]*)\"")
+_ALLOW_RE = re.compile(r"//\s*stat-refs:\s*allow\(([^)]+)\)\s*(\S?)")
+
+
+class Resolver:
+    """Name -> declaration existence test, mirroring the runtime
+    registry's exact / '.'-boundary-suffix / wildcard resolution."""
+
+    def __init__(self, decls):
+        self.names = set(decls)
+        self.plain = [n for n in decls if "*" not in n]
+        self.globs = [n for n in decls if "*" in n]
+
+    def resolves(self, name):
+        if name in self.names:
+            return True
+        for d in self.plain:
+            if name.endswith(d) and len(name) > len(d) and \
+                    name[-len(d) - 1] == ".":
+                return True
+        for g in self.globs:
+            if patterns_overlap(name, g):
+                return True
+            # A wildcard decl under an addAll prefix: strip leading
+            # '.'-separated segments and retry the whole-name match.
+            tail = name
+            while "." in tail:
+                tail = tail.split(".", 1)[1]
+                if patterns_overlap(tail, g):
+                    return True
+        return False
+
+
+def check_goldens(res, goldens_dir, findings):
+    for fn in sorted(os.listdir(goldens_dir)):
+        if not fn.endswith(".txt"):
+            continue
+        path = os.path.join(goldens_dir, fn)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for ln, line in enumerate(f, 1):
+                tok = line.split()
+                if len(tok) != 2 or not _GOLDEN_NAME_RE.match(tok[0]):
+                    continue
+                try:
+                    float(tok[1])
+                except ValueError:
+                    continue
+                if not res.resolves(tok[0]):
+                    findings.append(Finding(
+                        path, ln, "golden-stat-drift",
+                        "golden references stat '%s', which no "
+                        "SIM_STAT declaration resolves; the rename "
+                        "must regenerate the golden" % tok[0]))
+
+
+def local_names(text):
+    """Names a test file synthesizes itself: literal add() names plus
+    every addAll-prefix composition of them."""
+    adds = set(_ADD_RE.findall(text))
+    prefixes = set(_ADDALL_RE.findall(text))
+    out = set(adds)
+    # addAll prefixes compose (two nested levels is the practical
+    # bound in the tests); apply them twice.
+    for _ in range(2):
+        out |= {p + n for p in prefixes for n in out}
+    return out
+
+
+def check_tests(res, tests_dir, findings):
+    for fn in sorted(os.listdir(tests_dir)):
+        if not fn.endswith(".cc") or fn.endswith("_map_test.cc"):
+            continue
+        path = os.path.join(tests_dir, fn)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().split("\n")
+        local = local_names("\n".join(lines))
+        allowed = set()
+        for ln, line in enumerate(lines, 1):
+            m = _ALLOW_RE.search(line)
+            if m:
+                name, just = m.group(1).strip(), m.group(2)
+                if not just:
+                    findings.append(Finding(
+                        path, ln, "bad-allow",
+                        "stat-refs allow() without a justification"))
+                allowed.add(name)
+        for ln, line in enumerate(lines, 1):
+            for name in _REF_RE.findall(line):
+                if "." not in name and "_" not in name:
+                    continue  # JSON keys, single-token scratch names
+                if name in local or name in allowed:
+                    continue
+                if not res.resolves(name):
+                    findings.append(Finding(
+                        path, ln, "test-stat-drift",
+                        "test references stat '%s', which no SIM_STAT "
+                        "declaration resolves; update the test or "
+                        "waive with // stat-refs: allow(%s) <why>"
+                        % (name, name)))
+
+
+def main(argv):
+    json_path = None
+    root = None
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        if args[i] == "--json":
+            if i + 1 >= len(args):
+                print("check_stat_refs: --json needs a value",
+                      file=sys.stderr)
+                return 1
+            json_path = args[i + 1]
+            i += 2
+            continue
+        root = args[i]
+        i += 1
+    if root is None:
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+
+    src = os.path.join(root, "src")
+    goldens = os.path.join(root, "scripts", "goldens")
+    tests = os.path.join(root, "tests")
+    for d in (src, goldens, tests):
+        if not os.path.isdir(d):
+            print("check_stat_refs: missing directory %s" % d,
+                  file=sys.stderr)
+            return 1
+
+    model = analyze([src])
+    res = Resolver(model.decls)
+    findings = []
+    check_goldens(res, goldens, findings)
+    check_tests(res, tests, findings)
+
+    if json_path:
+        write_findings_json(json_path, "check_stat_refs", findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print("check_stat_refs: %d finding(s)" % len(findings),
+              file=sys.stderr)
+        return 1
+    print("check_stat_refs: %d declared stats; goldens and tests "
+          "resolve" % len(model.decls))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

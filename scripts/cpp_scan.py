@@ -14,6 +14,8 @@ fixture corpora under tests/lint_fixtures/ pin.
 """
 
 import bisect
+import json
+import os
 import re
 
 
@@ -257,3 +259,26 @@ def collapse_angles(s):
         prev = s
         s = re.sub(r"<[^<>]*>", "", s)
     return s
+
+
+def write_findings_json(path, tool, findings):
+    """The common machine-readable findings report every lint in this
+    repo emits under --json: {schema, tool, findings: [{rule, file,
+    line, message}]}.  `findings` are objects with .rule, .path,
+    .line, .msg (the Finding shape all three lints share); ci.sh
+    aggregates the per-tool reports into one lint_report.json."""
+    doc = {
+        "schema": "garibaldi-lint-findings-v1",
+        "tool": tool,
+        "findings": [
+            {"rule": f.rule, "file": str(f.path), "line": f.line,
+             "message": f.msg}
+            for f in findings
+        ],
+    }
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")

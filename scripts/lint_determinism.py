@@ -45,7 +45,10 @@ the line directly above:
 
 The justification is mandatory; a bare allow() is itself a finding.
 
-Usage: lint_determinism.py [--list-rules] <file-or-dir>...
+Usage: lint_determinism.py [--json PATH] [--list-rules]
+                           <file-or-dir>...
+--json writes the common machine-readable findings report (rule, file,
+line, message) that ci.sh aggregates across all three lints.
 Exit status: 0 when clean, 1 when findings (or bad usage).
 """
 
@@ -54,7 +57,7 @@ import re
 import sys
 
 from cpp_scan import (brace_scopes, collapse_angles, scope_kind_at,
-                      strip_code, strip_preproc)
+                      strip_code, strip_preproc, write_findings_json)
 
 RULES = (
     "unordered-iteration",
@@ -329,10 +332,19 @@ def gather(targets):
 
 
 def main(argv):
-    args = [a for a in argv[1:] if a != "--list-rules"]
-    if "--list-rules" in argv[1:]:
+    args = argv[1:]
+    if "--list-rules" in args:
         print("\n".join(RULES))
         return 0
+    json_path = None
+    if "--json" in args:
+        i = args.index("--json")
+        if i + 1 >= len(args):
+            print("lint_determinism: --json needs a value",
+                  file=sys.stderr)
+            return 1
+        json_path = args[i + 1]
+        args = args[:i] + args[i + 2:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 1
@@ -341,6 +353,8 @@ def main(argv):
         rel = os.path.relpath(path).replace(os.sep, "/")
         findings.extend(
             lint_file(path, rel, sibling_header_unordered(path)))
+    if json_path:
+        write_findings_json(json_path, "lint_determinism", findings)
     for f in findings:
         print(f)
     if findings:

@@ -1,9 +1,18 @@
 #include "core/branch/tage.hh"
 
 #include "common/intmath.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(TagePredictor,
+    SIM_STAT("lookups", counter),
+    SIM_STAT("correct", counter),
+    SIM_STAT("accuracy", rate("correct", "lookups")),
+    SIM_STAT("allocations", counter),
+    SIM_STAT("indirect_lookups", counter),
+    SIM_STAT("indirect_correct", counter));
 
 constexpr std::array<unsigned, TagePredictor::kNumTables>
     TagePredictor::kHistLen;

@@ -1,9 +1,23 @@
 #include "garibaldi/garibaldi.hh"
 
+#include "common/stat_kind.hh"
 #include "obs/trace.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(Garibaldi,
+    SIM_STAT("protection_grants", counter),
+    SIM_STAT("protection_denials", counter),
+    SIM_STAT("pair_prefetches", counter),
+    SIM_STAT("paired_updates", counter),
+    SIM_STAT("unpaired_data", counter),
+    SIM_STAT("table_accesses", counter),
+    SIM_STAT_GATED("helper.hits", counter, "helpers"),
+    SIM_STAT_GATED("helper.misses", counter, "helpers"),
+    SIM_STAT_GATED("helper.coverage",
+                   rate("helper.hits", "helper.hits+helper.misses"),
+                   "helpers"));
 
 Garibaldi::Garibaldi(const GaribaldiParams &params_,
                      std::uint32_t num_cores)
@@ -127,20 +141,6 @@ Cycle
 Garibaldi::queryCost() const
 {
     return params.qbsLookupCost;
-}
-
-const std::vector<std::string> &
-Garibaldi::gaugeStats()
-{
-    // The threshold unit's exports below are live readings of its
-    // adaptive state; everything else in stats() is a counter.
-    static const std::vector<std::string> gauges = {
-        "threshold.threshold",
-        "threshold.color",
-        "threshold.last_pdmiss",
-        "threshold.last_llc_miss_rate",
-    };
-    return gauges;
 }
 
 StatSet

@@ -55,17 +55,13 @@ class Garibaldi : public LlcCompanion
     unsigned maxProtectAttempts() const override;
     Cycle queryCost() const override;
 
-    /** Aggregate module statistics (feeds the energy model too). */
-    StatSet stats() const;
-
     /**
-     * Names of the stats() entries that are gauges — point-in-time
-     * readings, not counters.  Anything that windows the stat set
-     * (Simulator::run) must report these as the end-of-window value
-     * instead of differencing snapshots; keep this list in sync with
-     * every gauge the module (or its sub-units) exports.
+     * Aggregate module statistics (feeds the energy model too).
+     * Gauge entries (the threshold unit's live readings) are declared
+     * as such via SIM_STATS, so windowing keeps their end-of-window
+     * values without any caller-side name list.
      */
-    static const std::vector<std::string> &gaugeStats();
+    StatSet stats() const;
 
     PairTable &pairTable() { return pairs; }
     DppnTable &dppnTable() { return dppn; }

@@ -2,9 +2,16 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(HelperTable,
+    SIM_STAT("records", counter),
+    SIM_STAT("hits", counter),
+    SIM_STAT("misses", counter),
+    SIM_STAT("coverage", rate("hits", "hits+misses")));
 
 HelperTable::HelperTable(std::uint32_t entries, std::uint32_t assoc_,
                          unsigned sctr_bits)

@@ -1,9 +1,16 @@
 #include "mem/coherence.hh"
 
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(Directory,
+    SIM_STAT("invalidations", counter),
+    SIM_STAT("upgrades", counter),
+    SIM_STAT("shared_fills", counter),
+    SIM_STAT("tracked_lines", gauge));
 
 const char *
 cohStateName(CohState s)

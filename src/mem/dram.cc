@@ -6,9 +6,55 @@
 #include "common/audit.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(Dram,
+    SIM_STAT("reads", counter),
+    SIM_STAT("writes", counter),
+    SIM_STAT("queued_cycles", counter),
+    SIM_STAT("backfills", counter),
+    SIM_STAT("backfill_queued_cycles", counter),
+    SIM_STAT("avg_queue_delay", rate("queued_cycles", "reads+writes")),
+    SIM_STAT_GATED("row_hits", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_misses", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_conflicts", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_accesses", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_hit_rate", rate("row_hits", "row_accesses"),
+                   "rowModelOn"),
+    SIM_STAT_GATED("row_hit_reads", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_hit_lat_cycles", counter, "rowModelOn"),
+    SIM_STAT_GATED("avg_row_hit_latency",
+                   rate("row_hit_lat_cycles", "row_hit_reads"),
+                   "rowModelOn"),
+    SIM_STAT_GATED("row_hit_lat_p50", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_hit_lat_p95", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_hit_lat_p99", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_miss_reads", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_miss_lat_cycles", counter, "rowModelOn"),
+    SIM_STAT_GATED("avg_row_miss_latency",
+                   rate("row_miss_lat_cycles", "row_miss_reads"),
+                   "rowModelOn"),
+    SIM_STAT_GATED("row_miss_lat_p50", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_miss_lat_p95", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_miss_lat_p99", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_conflict_reads", counter, "rowModelOn"),
+    SIM_STAT_GATED("row_conflict_lat_cycles", counter, "rowModelOn"),
+    SIM_STAT_GATED("avg_row_conflict_latency",
+                   rate("row_conflict_lat_cycles", "row_conflict_reads"),
+                   "rowModelOn"),
+    SIM_STAT_GATED("row_conflict_lat_p50", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_conflict_lat_p95", quantile, "rowModelOn"),
+    SIM_STAT_GATED("row_conflict_lat_p99", quantile, "rowModelOn"),
+    SIM_STAT_GATED("read_lat_cycles", counter, "timingEnabled"),
+    SIM_STAT_GATED("avg_read_latency", rate("read_lat_cycles", "reads"),
+                   "timingEnabled"),
+    SIM_STAT_GATED("turnarounds", counter, "turnaroundOn"),
+    SIM_STAT_GATED("turnaround_cycles", counter, "turnaroundOn"),
+    SIM_STAT_GATED("refresh_blocked", counter, "refreshOn"),
+    SIM_STAT_GATED("refresh_stall_cycles", counter, "refreshOn"));
 
 namespace
 {
@@ -269,22 +315,29 @@ Dram::stats() const
         static const char *const kLegName[3] = {"hit", "miss",
                                                 "conflict"};
         for (int leg = 0; leg < 3; ++leg) {
-            std::string p = std::string("row_") + kLegName[leg];
-            s.add(p + "_reads", static_cast<double>(legReads[leg]));
-            s.add(p + "_lat_cycles",
+            // The "row_" prefix stays literal at every add site so
+            // the stat lint's name skeletons ("row_*_lat_cycles")
+            // can't collide with the timing-gated read_lat stats.
+            std::string p = kLegName[leg];
+            s.add("row_" + p + "_reads",
+                  static_cast<double>(legReads[leg]));
+            s.add("row_" + p + "_lat_cycles",
                   static_cast<double>(legReadCycles[leg]));
             // Device-leg latency per leg (queue excluded; see
             // rowLegLatency); the windowed recompute rebuilds this
             // from the two raw counters above.
-            s.add("avg_" + p + "_latency", legLatency[leg].mean());
+            s.add("avg_row_" + p + "_latency", legLatency[leg].mean());
             // Percentile landmarks of the same distribution.  The
             // _p50/_p95/_p99 suffix marks them as gauges for anything
             // windowing the stat set (percentiles of a cumulative
             // histogram cannot be differenced across snapshots).
             QuantileSummary q = legLatency[leg].quantiles();
-            s.add(p + "_lat_p50", static_cast<double>(q.p50));
-            s.add(p + "_lat_p95", static_cast<double>(q.p95));
-            s.add(p + "_lat_p99", static_cast<double>(q.p99));
+            s.add("row_" + p + "_lat_p50",
+                  static_cast<double>(q.p50));
+            s.add("row_" + p + "_lat_p95",
+                  static_cast<double>(q.p95));
+            s.add("row_" + p + "_lat_p99",
+                  static_cast<double>(q.p99));
         }
     }
     if (params.timingEnabled()) {

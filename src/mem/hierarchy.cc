@@ -4,10 +4,16 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 #include "obs/trace.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(MemoryHierarchy,
+    SIM_STAT_GATED("llc.banks", gauge, "numBanks"),
+    SIM_STAT("mshr_stalls", counter),
+    SIM_STAT("coherence_penalty_cycles", counter));
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params_)
     : params(params_), instrCrit(params_.instrCritEntries)

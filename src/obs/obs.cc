@@ -7,9 +7,13 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(ObsSubsystem,
+    SIM_STAT_GATED("obs.telemetry.windows", counter, "telemetry_"));
 
 void
 ObsConfig::validate() const
@@ -94,9 +98,10 @@ ObsSubsystem::stats() const
     StatSet s;
     if (tracer_)
         s.addAll("obs.", tracer_->stats());
-    if (telemetry_)
+    if (telemetry_) {
         s.add("obs.telemetry.windows",
               static_cast<double>(telemetry_->windows()));
+    }
     return s;
 }
 

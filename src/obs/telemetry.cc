@@ -3,7 +3,6 @@
 #include "common/audit.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
-#include "garibaldi/garibaldi.hh"
 #include "sim/metrics.hh"
 
 namespace garibaldi
@@ -46,11 +45,6 @@ TelemetrySink::emit(Cycle end, const StatSet &mem, const StatSet &gari,
                " after ", instrPrev, ")");
     StatSet mem_d = windowedStatDelta(mem, memPrev);
     StatSet gari_d = windowedStatDelta(gari, gariPrev);
-    // Named gauges report their end-of-window reading, exactly like
-    // the detailed-window report in Simulator::run.
-    for (const std::string &gauge : Garibaldi::gaugeStats())
-        if (gari.has(gauge))
-            gari_d.add(gauge, gari.get(gauge));
 
     std::uint64_t instr_d = instr - instrPrev;
     Cycle span = end - winStart;

@@ -4,9 +4,21 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(Tracer,
+    SIM_STAT("trace.sample_n", gauge),
+    SIM_STAT("trace.seen", counter),
+    SIM_STAT("trace.captured", counter),
+    SIM_STAT("trace.dropped", counter),
+    SIM_STAT("trace.markers_captured", counter),
+    SIM_STAT("lat.*.count", counter),
+    SIM_STAT("lat.*_p50", quantile),
+    SIM_STAT("lat.*_p95", quantile),
+    SIM_STAT("lat.*_p99", quantile));
 
 namespace
 {

@@ -1,8 +1,10 @@
 #include "sim/metrics.hh"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
@@ -59,12 +61,31 @@ safeRate(double numerator, double denominator)
 namespace
 {
 
-bool
-endsWith(const std::string &name, const std::string &suffix)
+/**
+ * Sum a '+'-joined counter expression from a rate declaration under
+ * the addAll prefix of the exported rate name ("dram." for
+ * dram.avg_queue_delay -> dram.queued_cycles over dram.reads +
+ * dram.writes).  Absent names read as 0 so a gated counter missing
+ * from a model-off surface never faults the recompute.
+ */
+double
+sumCounters(const StatSet &s, const std::string &prefix,
+            const char *expr)
 {
-    return name.size() >= suffix.size() &&
-           name.compare(name.size() - suffix.size(), suffix.size(),
-                        suffix) == 0;
+    double total = 0;
+    const char *tok = expr;
+    while (tok != nullptr && *tok != '\0') {
+        const char *plus = std::strchr(tok, '+');
+        std::string name =
+            prefix + (plus != nullptr
+                          ? std::string(tok, static_cast<std::size_t>(
+                                                 plus - tok))
+                          : std::string(tok));
+        if (s.has(name))
+            total += s.get(name);
+        tok = plus != nullptr ? plus + 1 : nullptr;
+    }
+    return total;
 }
 
 } // namespace
@@ -72,16 +93,21 @@ endsWith(const std::string &name, const std::string &suffix)
 bool
 isQuantileStat(const std::string &name)
 {
-    return endsWith(name, "_p50") || endsWith(name, "_p95") ||
-           endsWith(name, "_p99");
+    return StatKindRegistry::instance().isQuantile(name);
 }
 
 StatSet
 subtractCounters(const StatSet &after, const StatSet &before)
 {
+    const StatKindRegistry &reg = StatKindRegistry::instance();
     StatSet out;
     for (const auto &[name, value] : after.entries()) {
-        if (isQuantileStat(name)) {
+        // Gauges, quantiles and histogram summaries report their
+        // end-of-window reading (differencing point-in-time values or
+        // percentiles of a cumulative histogram is noise); counters
+        // and rates subtract, and recomputeWindowedRates then rebuilds
+        // every rate from the subtracted raws.
+        if (reg.windowRule(name) == WindowRule::KeepLast) {
             out.add(name, value);
             continue;
         }
@@ -94,6 +120,7 @@ subtractCounters(const StatSet &after, const StatSet &before)
 void
 recomputeWindowedRates(StatSet &s)
 {
+    const StatKindRegistry &reg = StatKindRegistry::instance();
     // Collect names first: StatSet::add overwrites in place for
     // existing keys, but iterating a container while mutating it is a
     // trap worth avoiding outright.
@@ -101,79 +128,18 @@ recomputeWindowedRates(StatSet &s)
     names.reserve(s.entries().size());
     for (const auto &[name, value] : s.entries())
         names.push_back(name);
-    auto ratio_of = [&s](const std::string &prefix, const char *num,
-                         const char *den) {
-        return safeRate(s.get(prefix + num), s.get(prefix + den));
-    };
-    const std::string kHitRate = "hit_rate";
-    const std::string kInstrMissRate = "instr_miss_rate";
-    const std::string kAvgQueueDelay = "avg_queue_delay";
-    const std::string kCoverage = "coverage";
-    // DRAM row-buffer legs: avg_row_<leg>_latency is rebuilt from the
-    // leg's raw (cycles, reads) counters.  dram.row_hit_rate needs no
-    // entry here — it ends with "hit_rate" and the generic branch below
-    // recomputes it from dram.row_hits / dram.row_accesses.
-    const std::string kAvgRowLegLatency[3] = {
-        "avg_row_hit_latency", "avg_row_miss_latency",
-        "avg_row_conflict_latency"};
-    const std::string kRowLegCounters[3][2] = {
-        {"row_hit_lat_cycles", "row_hit_reads"},
-        {"row_miss_lat_cycles", "row_miss_reads"},
-        {"row_conflict_lat_cycles", "row_conflict_reads"}};
-    const std::string kAvgReadLatency = "avg_read_latency";
     for (const auto &name : names) {
-        auto ends_with = [&name](const std::string &suffix) {
-            return endsWith(name, suffix);
-        };
-        if (ends_with(kInstrMissRate)) {
-            std::string prefix =
-                name.substr(0, name.size() - kInstrMissRate.size());
-            s.add(name,
-                  ratio_of(prefix, "instr_misses", "instr_accesses"));
-        } else if (ends_with(kHitRate)) {
-            std::string prefix =
-                name.substr(0, name.size() - kHitRate.size());
-            s.add(name, ratio_of(prefix, "hits", "accesses"));
-        } else if (ends_with(kAvgQueueDelay)) {
-            // DRAM exports a cumulative mean over every access —
-            // backfills included, since they book bandwidth and can be
-            // charged queue like anything else — so the window's mean
-            // is its queued cycles over ALL of its accesses (no
-            // backfill subtraction: removing charged backfills from
-            // the denominator would overstate the delay the charged
-            // cycles already account for).
-            std::string prefix =
-                name.substr(0, name.size() - kAvgQueueDelay.size());
-            double granted =
-                s.get(prefix + "reads") + s.get(prefix + "writes");
-            s.add(name,
-                  safeRate(s.get(prefix + "queued_cycles"), granted));
-        } else if (ends_with(kAvgRowLegLatency[0]) ||
-                   ends_with(kAvgRowLegLatency[1]) ||
-                   ends_with(kAvgRowLegLatency[2])) {
-            for (int leg = 0; leg < 3; ++leg) {
-                if (!ends_with(kAvgRowLegLatency[leg]))
-                    continue;
-                std::string prefix = name.substr(
-                    0, name.size() - kAvgRowLegLatency[leg].size());
-                s.add(name,
-                      safeRate(s.get(prefix + kRowLegCounters[leg][0]),
-                               s.get(prefix + kRowLegCounters[leg][1])));
-                break;
-            }
-        } else if (ends_with(kAvgReadLatency)) {
-            std::string prefix =
-                name.substr(0, name.size() - kAvgReadLatency.size());
-            s.add(name, safeRate(s.get(prefix + "read_lat_cycles"),
-                                 s.get(prefix + "reads")));
-        } else if (ends_with(kCoverage)) {
-            // helper.coverage = hits / (hits + misses).
-            std::string prefix =
-                name.substr(0, name.size() - kCoverage.size());
-            double h = s.get(prefix + "hits");
-            double m = s.get(prefix + "misses");
-            s.add(name, safeRate(h, h + m));
-        }
+        const StatDecl *d = reg.resolve(name);
+        if (d == nullptr || d->sem.kind != StatKind::Rate)
+            continue;
+        // The declaration's raw-counter names are relative to the
+        // addAll prefix the exported name carries ("llc.bank0." for
+        // llc.bank0.hit_rate), which is whatever precedes the
+        // declared suffix.
+        std::string prefix =
+            name.substr(0, name.size() - std::strlen(d->name));
+        s.add(name, safeRate(sumCounters(s, prefix, d->sem.num),
+                             sumCounters(s, prefix, d->sem.den)));
     }
 }
 

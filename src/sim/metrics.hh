@@ -45,25 +45,29 @@ double weightedSpeedup(const std::vector<double> &shared_ipc,
 double safeRate(double numerator, double denominator);
 
 /**
- * True when @p name is a percentile gauge (ends in _p50/_p95/_p99).
+ * True when @p name windows as a percentile gauge.  Registry-driven:
+ * declared quantile stats (common/stat_kind.hh) answer true whatever
+ * their spelling; undeclared names fall back to the canonical suffix
+ * set (StatKindRegistry::quantileSuffixes — _p50/_p90/_p95/_p99).
  * Percentiles of a cumulative histogram cannot be differenced across
- * snapshots, so windowing reports their end-of-window reading — the
- * same rule Garibaldi's named gauges follow.
+ * snapshots, so windowing reports their end-of-window reading.
  */
 bool isQuantileStat(const std::string &name);
 
 /**
  * Counter subtraction across a window boundary: every entry of
- * @p after minus its @p before reading (absent = 0), except quantile
- * gauges (isQuantileStat), which keep the after value.
+ * @p after minus its @p before reading (absent = 0), except stats
+ * whose declared kind windows as keep-last (gauges, quantiles,
+ * histogram summaries), which keep the after value.
  */
 StatSet subtractCounters(const StatSet &after, const StatSet &before);
 
 /**
- * Recompute every derived-rate entry of @p s in place from its raw
- * counters (hit_rate, instr_miss_rate, avg_queue_delay, the DRAM
- * avg_row_<leg>_latency / avg_read_latency family, coverage) — a
- * difference of ratios is not the ratio of differences.
+ * Recompute every declared-rate entry of @p s in place from its raw
+ * counters — a difference of ratios is not the ratio of differences.
+ * The raw names come from each rate's SIM_STAT declaration, resolved
+ * under the same addAll prefix as the rate itself; there is no
+ * hard-coded name list to drift from the producers.
  */
 void recomputeWindowedRates(StatSet &s);
 
@@ -71,8 +75,8 @@ void recomputeWindowedRates(StatSet &s);
  * The full windowing discipline in one call: subtractCounters, then
  * recomputeWindowedRates.  Used by Simulator::run for the detailed
  * window and by the telemetry sink for every intra-run window, so the
- * two can never drift apart.  Named gauges (Garibaldi's list) are the
- * caller's to re-add — this function does not know about them.
+ * two can never drift apart.  Gauges keep their end-of-window reading
+ * via their declared kind — callers no longer re-add them.
  */
 StatSet windowedStatDelta(const StatSet &after, const StatSet &before);
 

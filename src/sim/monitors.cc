@@ -3,9 +3,40 @@
 #include <algorithm>
 
 #include "common/intmath.hh"
+#include "common/stat_kind.hh"
 
 namespace garibaldi
 {
+
+SIM_STATS(ReuseDistanceMonitor,
+    SIM_STAT("instr_mean_distance", histogram_summary),
+    SIM_STAT("data_mean_distance", histogram_summary),
+    SIM_STAT("instr_distance_p90", quantile),
+    SIM_STAT("data_distance_p90", quantile),
+    SIM_STAT("instr_samples", counter),
+    SIM_STAT("data_samples", counter));
+
+SIM_STATS(LineFrequencyMonitor,
+    SIM_STAT("instr_accesses_per_line", gauge),
+    SIM_STAT("data_accesses_per_line", gauge),
+    SIM_STAT("instr_access_ratio", gauge),
+    SIM_STAT("distinct_instr_lines", gauge),
+    SIM_STAT("distinct_data_lines", gauge));
+
+SIM_STATS(PairingMonitor,
+    SIM_STAT("instr_missrate_datahot", gauge),
+    SIM_STAT("instr_missrate_datacold", gauge),
+    SIM_STAT("data_sharing_degree", gauge),
+    SIM_STAT("tracked_instr_lines", gauge));
+
+SIM_STATS(BankQueueMonitor,
+    SIM_STAT("banks", gauge),
+    SIM_STAT("access_imbalance", histogram_summary),
+    SIM_STAT("mean_queue_delay", histogram_summary),
+    SIM_STAT("bank*.accesses", counter),
+    SIM_STAT("bank*.hits", counter),
+    SIM_STAT("bank*.queued_accesses", counter),
+    SIM_STAT("bank*.queue_cycles", counter));
 
 ReuseDistanceMonitor::ReuseDistanceMonitor(std::uint32_t llc_sets,
                                            unsigned sample_shift)
@@ -48,9 +79,12 @@ ReuseDistanceMonitor::stats() const
     StatSet s;
     s.add("instr_mean_distance", instrDist.mean());
     s.add("data_mean_distance", dataDist.mean());
-    s.add("instr_p90_distance",
+    // Percentile gauges carry the canonical _p90 suffix so windowing
+    // keeps the end-of-window reading instead of differencing the
+    // cumulative histogram's landmarks across snapshots.
+    s.add("instr_distance_p90",
           static_cast<double>(instrDist.percentile(0.9)));
-    s.add("data_p90_distance",
+    s.add("data_distance_p90",
           static_cast<double>(dataDist.percentile(0.9)));
     s.add("instr_samples", static_cast<double>(instrDist.count()));
     s.add("data_samples", static_cast<double>(dataDist.count()));

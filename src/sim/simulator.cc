@@ -216,16 +216,13 @@ Simulator::run(std::uint64_t warmup_per_core,
     // reports can never drift apart.
     res.mem = windowedStatDelta(sys.hierarchy().stats(), mem_before);
     if (sys.garibaldi()) {
-        StatSet gari_after = sys.garibaldi()->stats();
-        res.garibaldi = windowedStatDelta(gari_after, gari_before);
         // helper.coverage flows through the same safeRate recompute as
-        // the hierarchy rates; the threshold unit's gauges are
-        // point-in-time readings, so the windowed report is simply the
-        // end-of-window value (a difference of two gauge readings is
-        // noise — quickstart used to print it as such).
-        for (const std::string &gauge : Garibaldi::gaugeStats())
-            if (gari_after.has(gauge))
-                res.garibaldi.add(gauge, gari_after.get(gauge));
+        // the hierarchy rates; the threshold unit's gauges keep their
+        // end-of-window readings via their declared kind (a difference
+        // of two gauge readings is noise — quickstart used to print it
+        // as such).
+        res.garibaldi =
+            windowedStatDelta(sys.garibaldi()->stats(), gari_before);
     }
     res.tlb = subtractCounters(sum_tlb(), tlb_before);
 

@@ -1,0 +1,36 @@
+// Fixture: waiver misuse — an allow() without a justification, and an
+// allow() naming no known rule.
+// Expected finding: bad-allow (twice).
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureSloppy,
+    SIM_STAT("events", counter));
+
+class FixtureSloppy
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t events_ = 0;
+    std::uint64_t spills_ = 0;
+};
+
+StatSet
+FixtureSloppy::stats() const
+{
+    StatSet s;
+    s.add("events", static_cast<double>(events_));
+    // stat-lint: allow(undeclared-stat)
+    s.add("spills", static_cast<double>(spills_)); // finding: bare
+    // stat-lint: allow(no-such-rule) rule name is not in the rule set
+    return s;
+}
+
+} // namespace garibaldi

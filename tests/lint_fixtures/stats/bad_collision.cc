@@ -1,0 +1,41 @@
+// Fixture: the same stat name declared with different kinds by
+// different producers — resolution must be unambiguous.  (Same-kind
+// re-declarations of shared names like "hits" are fine and exercised
+// here too.)
+// Expected finding: name-collision.
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureFront,
+    SIM_STAT("hits", counter),
+    SIM_STAT("occupancy", counter));
+
+SIM_STATS(FixtureBack,
+    SIM_STAT("hits", counter),       // fine: same kind
+    SIM_STAT("occupancy", gauge));   // finding: counter vs gauge
+
+class FixtureFront
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t occupancy_ = 0;
+};
+
+StatSet
+FixtureFront::stats() const
+{
+    StatSet s;
+    s.add("hits", static_cast<double>(hits_));
+    s.add("occupancy", static_cast<double>(occupancy_));
+    return s;
+}
+
+} // namespace garibaldi

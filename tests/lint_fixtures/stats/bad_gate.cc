@@ -1,0 +1,35 @@
+// Fixture: a SIM_STAT_GATED stat whose add site is not inside a
+// conditional naming the gate token — the stat would export with the
+// feature off and widen the knobs-off surface.
+// Expected finding: gate-mismatch.
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureLeaky,
+    SIM_STAT_GATED("prefetch.issued", counter, "prefetchOn"));
+
+class FixtureLeaky
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t issued_ = 0;
+    bool prefetchOn = false;
+};
+
+StatSet
+FixtureLeaky::stats() const
+{
+    StatSet s;
+    // finding: unconditional export of a "prefetchOn"-gated stat
+    s.add("prefetch.issued", static_cast<double>(issued_));
+    return s;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,39 @@
+// Fixture: a stat computed from a SIM_EPOCH_MERGED(max) member but
+// declared as a counter (merges as sum) — a sum-merged stat cannot be
+// derived from max-merged state.  The runner first builds the sharing
+// map for this file (analyze_sharing.py --boundary FixtureWatermark)
+// and passes it back via --sharing-map.
+// Expected finding: merge-mismatch.
+#include <cstdint>
+
+#include "common/sharing.hh"
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureWatermark,
+    SIM_STAT("peak_depth", counter), // finding: must not sum-merge
+    SIM_STAT("enqueues", counter));
+
+class FixtureWatermark
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    SIM_EPOCH_MERGED(max) std::uint64_t peakDepth = 0;
+    SIM_EPOCH_MERGED(sum) std::uint64_t enqueues = 0;
+};
+
+StatSet
+FixtureWatermark::stats() const
+{
+    StatSet s;
+    s.add("peak_depth", static_cast<double>(peakDepth));
+    s.add("enqueues", static_cast<double>(enqueues)); // fine: sum/sum
+    return s;
+}
+
+} // namespace garibaldi

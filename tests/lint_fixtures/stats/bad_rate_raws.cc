@@ -1,0 +1,37 @@
+// Fixture: a rate whose numerator/denominator tokens are not declared
+// counters — the windowed recompute would read absent names as zero.
+// Expected finding: rate-raws-undeclared.
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureRatio,
+    SIM_STAT("hits", counter),
+    // finding: "probes" is never declared as a counter
+    SIM_STAT("coverage_rate", rate("hits", "probes")));
+
+class FixtureRatio
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t probes_ = 0;
+};
+
+StatSet
+FixtureRatio::stats() const
+{
+    StatSet s;
+    s.add("hits", static_cast<double>(hits_));
+    s.add("coverage_rate",
+          probes_ ? static_cast<double>(hits_) / probes_ : 0.0);
+    return s;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,36 @@
+// Fixture: names whose suffixes promise a different kind than the one
+// declared: *_rate / avg_* must be rate(num, den), *_p50/_p90/_p95/
+// _p99 must be quantile.
+// Expected finding: suffix-kind.
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureMisnamed,
+    SIM_STAT("miss_rate", counter),  // finding: *_rate must be rate
+    SIM_STAT("lat_p90", counter));   // finding: *_p90 must be quantile
+
+class FixtureMisnamed
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t misses_ = 0;
+    double latP90_ = 0.0;
+};
+
+StatSet
+FixtureMisnamed::stats() const
+{
+    StatSet s;
+    s.add("miss_rate", static_cast<double>(misses_));
+    s.add("lat_p90", latP90_);
+    return s;
+}
+
+} // namespace garibaldi

@@ -1,0 +1,34 @@
+// Fixture: a StatSet::add call site whose name matches no SIM_STAT
+// declaration.
+// Expected finding: undeclared-stat.
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureRogue,
+    SIM_STAT("requests", counter));
+
+class FixtureRogue
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t requests_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+StatSet
+FixtureRogue::stats() const
+{
+    StatSet s;
+    s.add("requests", static_cast<double>(requests_));
+    s.add("drops", static_cast<double>(drops_)); // finding: no decl
+    return s;
+}
+
+} // namespace garibaldi

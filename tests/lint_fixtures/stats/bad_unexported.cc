@@ -1,0 +1,33 @@
+// Fixture: a declared stat with no StatSet::add site anywhere in the
+// scanned tree — dead contract entries hide renames.
+// Expected finding: unexported-stat.
+#include <cstdint>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureGhost,
+    SIM_STAT("arrivals", counter),
+    SIM_STAT("departures", counter)); // finding: never exported
+
+class FixtureGhost
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t arrivals_ = 0;
+};
+
+StatSet
+FixtureGhost::stats() const
+{
+    StatSet s;
+    s.add("arrivals", static_cast<double>(arrivals_));
+    return s;
+}
+
+} // namespace garibaldi

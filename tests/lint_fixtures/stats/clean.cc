@@ -1,0 +1,60 @@
+// Fixture: the clean case — everything scripts/analyze_stats.py must
+// accept without a finding: a counter, a rate with declared raws, a
+// gauge, a quantile, a gated counter exported inside a conditional
+// naming its gate, a wildcard declaration matched by a composed-name
+// add site, and a justified waiver.
+#include <cstdint>
+#include <string>
+
+#include "common/stat_kind.hh"
+#include "sim/stats.hh"
+
+namespace garibaldi
+{
+
+SIM_STATS(FixtureCache,
+    SIM_STAT("lookups", counter),
+    SIM_STAT("hits", counter),
+    SIM_STAT("hit_rate", rate("hits", "lookups")),
+    SIM_STAT("depth", gauge),
+    SIM_STAT("delay_p95", quantile),
+    SIM_STAT("bank*.accesses", counter),
+    // stat-lint: allow(suffix-kind) point-in-time EMA reading, not a counter-derived ratio
+    SIM_STAT("last_miss_rate", gauge),
+    SIM_STAT_GATED("victim.evictions", counter, "victimOn"));
+
+class FixtureCache
+{
+  public:
+    StatSet stats() const;
+
+  private:
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t depth_ = 0;
+    double delayP95_ = 0.0;
+    double lastMissRate_ = 0.0;
+    std::uint64_t evictions_ = 0;
+    bool victimOn = false;
+};
+
+StatSet
+FixtureCache::stats() const
+{
+    StatSet s;
+    s.add("lookups", static_cast<double>(lookups_));
+    s.add("hits", static_cast<double>(hits_));
+    s.add("hit_rate",
+          lookups_ ? static_cast<double>(hits_) / lookups_ : 0.0);
+    s.add("depth", static_cast<double>(depth_));
+    s.add("delay_p95", delayP95_);
+    s.add("last_miss_rate", lastMissRate_);
+    for (int b = 0; b < 4; ++b)
+        s.add("bank" + std::to_string(b) + ".accesses", 1.0);
+    if (victimOn) {
+        s.add("victim.evictions", static_cast<double>(evictions_));
+    }
+    return s;
+}
+
+} // namespace garibaldi

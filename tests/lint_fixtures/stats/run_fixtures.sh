@@ -1,0 +1,135 @@
+#!/bin/sh
+# Self-test of scripts/analyze_stats.py against the fixture corpus:
+# every bad_* fixture must trip exactly its expected rule, clean.cc
+# must pass, and the analyzer over the real src/ tree must report
+# zero findings while emitting a stat map whose coverage counters
+# show every StatSet::add site matched a declaration.
+#
+# The merge-mismatch fixture needs a sharing map for its own class,
+# so the runner first builds one with analyze_sharing.py --boundary
+# (keeping the corpus decoupled from the simulator's class names) and
+# feeds it back through --sharing-map.
+#
+# Usage: run_fixtures.sh [python3-path]
+# Env:   REPO_ROOT (defaults to three levels above this script)
+set -u
+
+PY="${1:-python3}"
+HERE=$(cd "$(dirname "$0")" && pwd)
+ROOT="${REPO_ROOT:-$(cd "$HERE/../../.." && pwd)}"
+LINT="$ROOT/scripts/analyze_stats.py"
+SHARING="$ROOT/scripts/analyze_sharing.py"
+
+fail=0
+note() { echo "stat_fixtures: $*"; }
+
+if ! "$PY" -c 'import sys' 2>/dev/null; then
+    note "SKIP: no usable python interpreter ($PY)"
+    exit 0
+fi
+[ -f "$LINT" ] || { note "FAIL: missing $LINT"; exit 1; }
+
+expect_finding() {
+    # expect_finding <fixture> <rule> [rule2...] [-- extra args...]
+    fixture="$1"
+    shift
+    rules=""
+    while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+        rules="$rules $1"
+        shift
+    done
+    [ $# -gt 0 ] && shift  # drop the --
+    out=$("$PY" "$LINT" "$@" "$HERE/$fixture" 2>&1)
+    status=$?
+    if [ "$status" -eq 0 ]; then
+        note "FAIL: $fixture passed the analyzer but must trip:$rules"
+        fail=1
+        return
+    fi
+    ok=1
+    for rule in $rules; do
+        case "$out" in
+            *"[$rule]"*) ;;
+            *)
+                note "FAIL: $fixture did not report [$rule]"
+                echo "$out" | sed 's/^/    /'
+                fail=1
+                ok=0
+                ;;
+        esac
+    done
+    [ "$ok" -eq 1 ] && note "ok: $fixture trips$rules"
+}
+
+expect_clean() {
+    # expect_clean <label> <analyzer args...>
+    label="$1"; shift
+    out=$("$PY" "$LINT" "$@" 2>&1)
+    if [ $? -ne 0 ]; then
+        note "FAIL: $label must be finding-free"
+        echo "$out" | sed 's/^/    /'
+        fail=1
+    else
+        note "ok: $label is clean"
+    fi
+}
+
+expect_finding bad_undeclared.cc undeclared-stat
+expect_finding bad_unexported.cc unexported-stat
+expect_finding bad_suffix_kind.cc suffix-kind
+expect_finding bad_rate_raws.cc rate-raws-undeclared
+expect_finding bad_gate.cc gate-mismatch
+expect_finding bad_collision.cc name-collision
+expect_finding bad_bare_allow.cc bad-allow
+
+# merge-mismatch: build the fixture's own sharing map first, then run
+# the stats analyzer with the cross-check enabled.
+SMAP="${TMPDIR:-/tmp}/stat_fixture_sharing_$$.json"
+if "$PY" "$SHARING" --boundary FixtureWatermark --emit "$SMAP" \
+        "$HERE/bad_merge_mismatch.cc" >/dev/null 2>&1; then
+    expect_finding bad_merge_mismatch.cc merge-mismatch \
+        -- --sharing-map "$SMAP"
+else
+    note "FAIL: analyze_sharing rejected bad_merge_mismatch.cc"
+    fail=1
+fi
+rm -f "$SMAP"
+
+expect_clean "clean.cc" "$HERE/clean.cc"
+
+# The real tree: zero findings, and the emitted map's coverage
+# counters must show every add site matched (the stat_map_test gtest
+# checks the map's shape in depth; this keeps the shell lane
+# self-contained).
+MAP="${TMPDIR:-/tmp}/stat_map_fixture_$$.json"
+expect_clean "real src tree" --emit "$MAP" "$ROOT/src"
+if [ -f "$MAP" ]; then
+    if "$PY" - "$MAP" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cov = doc["coverage"]
+if cov["add_sites"] == 0 or cov["add_sites"] != cov["matched_sites"]:
+    print("coverage gap: %(matched_sites)d/%(add_sites)d sites" % cov)
+    sys.exit(1)
+if not doc["stats"]:
+    print("empty stat map")
+    sys.exit(1)
+EOF
+    then
+        note "ok: stat map covers every add site"
+    else
+        note "FAIL: stat map leaves add sites unmatched"
+        fail=1
+    fi
+    rm -f "$MAP"
+else
+    note "FAIL: --emit produced no stat map"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    note "FAILED"
+    exit 1
+fi
+note "all fixtures behaved"
+exit 0

@@ -16,6 +16,7 @@
 
 #include "common/histogram.hh"
 #include "common/json.hh"
+#include "common/stat_kind.hh"
 #include "obs/obs.hh"
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
@@ -103,7 +104,10 @@ TEST(Metrics, QuantileStatsAreGauges)
     EXPECT_TRUE(isQuantileStat("x_p99"));
     EXPECT_FALSE(isQuantileStat("llc.hits"));
     EXPECT_FALSE(isQuantileStat("p50"));
-    EXPECT_FALSE(isQuantileStat("lat_p90"));
+    // _p90 joined the canonical suffix set when the reuse-distance
+    // monitor's p90 gauges were renamed to it (QuantileSummary exports
+    // p90, so the suffix family must cover it).
+    EXPECT_TRUE(isQuantileStat("lat_p90"));
 
     StatSet before, after;
     before.add("hits", 10);
@@ -115,6 +119,30 @@ TEST(Metrics, QuantileStatsAreGauges)
     // Percentiles of a cumulative histogram cannot be differenced:
     // the window keeps the end-of-window reading.
     EXPECT_DOUBLE_EQ(d.get("lat_p99"), 170.0);
+}
+
+TEST(Metrics, EveryQuantileSuffixWindowsKeepLast)
+{
+    // Sweep the registry's own suffix list so a suffix added to
+    // StatKindRegistry::quantileSuffixes() is covered here without a
+    // test edit — the list, isQuantileStat and the windowing rule
+    // must move together.
+    int n = 0;
+    for (const char *const *sfx = StatKindRegistry::quantileSuffixes();
+         *sfx != nullptr; ++sfx) {
+        ++n;
+        std::string name = std::string("sweep") + *sfx;
+        EXPECT_TRUE(isQuantileStat(name)) << name;
+        StatSet before, after;
+        before.add(name, 40.0);
+        after.add(name, 30.0);
+        StatSet d = subtractCounters(after, before);
+        // Keep-last: the end-of-window reading survives even when it
+        // is *smaller* than the previous snapshot (a subtraction
+        // would have produced -10 here).
+        EXPECT_DOUBLE_EQ(d.get(name), 30.0) << name;
+    }
+    EXPECT_EQ(n, 4) << "_p50/_p90/_p95/_p99 is the canonical set";
 }
 
 // ---- knob validation ------------------------------------------------
@@ -396,6 +424,7 @@ TEST(ObsEndToEnd, TelemetryWindowInvariants)
         prev_end = rec.get("end").asNumber();
         instr_sum += rec.get("instructions").asNumber();
         EXPECT_TRUE(rec.has("ipc"));
+        // stat-refs: allow(llc_hit_rate) telemetry JSONL field name, not a StatSet stat
         EXPECT_TRUE(rec.has("llc_hit_rate"));
         ++n;
     }

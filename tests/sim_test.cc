@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stat_kind.hh"
 #include "garibaldi/garibaldi.hh"
 #include "sim/energy.hh"
 #include "sim/experiment.hh"
@@ -145,12 +146,21 @@ TEST(Simulator, WindowedGaribaldiRatiosAndGauges)
     EXPECT_GE(r.garibaldi.get("helper.coverage"), 0.0);
     EXPECT_LE(r.garibaldi.get("helper.coverage"), 1.0);
     // Gauges match the live module's current reading, not a delta.
+    // The gauge set comes from the declared stat kinds (the threshold
+    // unit's SIM_STATS block), not a hand-maintained name list.
     StatSet live = sys.garibaldi()->stats();
-    EXPECT_FALSE(Garibaldi::gaugeStats().empty());
-    for (const std::string &g : Garibaldi::gaugeStats()) {
-        ASSERT_TRUE(live.has(g)) << g;
-        EXPECT_DOUBLE_EQ(r.garibaldi.get(g), live.get(g)) << g;
+    const StatKindRegistry &reg = StatKindRegistry::instance();
+    int gauges = 0;
+    for (const auto &[name, value] : live.entries()) {
+        const StatDecl *d = reg.resolve(name);
+        if (!d || d->sem.kind != StatKind::Gauge)
+            continue;
+        ++gauges;
+        ASSERT_TRUE(r.garibaldi.has(name)) << name;
+        EXPECT_DOUBLE_EQ(r.garibaldi.get(name), value) << name;
     }
+    // threshold, color, last_pdmiss, last_llc_miss_rate at minimum.
+    EXPECT_GE(gauges, 4);
     // threshold.color is a rotation index: always non-negative, which
     // the old differenced report was not.
     EXPECT_GE(r.garibaldi.get("threshold.color"), 0.0);
@@ -288,6 +298,90 @@ TEST(ReuseDistanceMonitor, SeparatesInstrAndData)
     mon.observe(llcAccess(16 * 64, false), false); // data d=1
     EXPECT_EQ(mon.instrHistogram().count(), 1u);
     EXPECT_EQ(mon.dataHistogram().count(), 1u);
+}
+
+TEST(ReuseDistanceMonitor, WindowedP90KeepsEndOfWindowReading)
+{
+    // Regression for the windowing bug this PR fixed: the p90
+    // landmarks of the cumulative reuse-distance histograms used to
+    // be *subtracted* across window snapshots like counters, so any
+    // window after the first reported a meaningless difference of
+    // two percentiles.  Their declared quantile kind (and the
+    // canonical _p90 suffix) now keeps the end-of-window reading.
+    ReuseDistanceMonitor mon(16, /*sample every set*/ 0);
+    Addr stride = 16 * 64; // one set apart: all lines share set 0
+    auto line = [&](int i) { return static_cast<Addr>(i) * stride; };
+
+    // Window 1: A B A B -> two reuse samples of distance 1.
+    for (int rep = 0; rep < 2; ++rep)
+        for (int i = 0; i < 2; ++i)
+            mon.observe(llcAccess(line(i), false), false);
+    StatSet w1_live = mon.stats();
+    StatSet w1 = windowedStatDelta(w1_live, StatSet());
+    EXPECT_DOUBLE_EQ(w1.get("data_distance_p90"), 1.0);
+    EXPECT_DOUBLE_EQ(w1.get("data_samples"), 2.0);
+
+    // Window 2: ten rounds of A C D E F G -> ten samples of
+    // distance 5 push the cumulative p90 up to 5.
+    for (int rep = 0; rep < 10; ++rep) {
+        mon.observe(llcAccess(line(0), false), false);
+        for (int i = 2; i <= 6; ++i)
+            mon.observe(llcAccess(line(i), false), false);
+    }
+    StatSet w2_live = mon.stats();
+    StatSet w2 = windowedStatDelta(w2_live, w1_live);
+
+    // The quantile keeps the end-of-window reading...
+    EXPECT_DOUBLE_EQ(w2.get("data_distance_p90"),
+                     w2_live.get("data_distance_p90"));
+    // ...which is NOT the difference of the two snapshots (the old
+    // counter treatment would have reported p90(w2) - p90(w1) here).
+    EXPECT_NE(w2.get("data_distance_p90"),
+              w2_live.get("data_distance_p90") -
+                  w1_live.get("data_distance_p90"));
+    // The sample counters still window by subtraction.
+    EXPECT_DOUBLE_EQ(w2.get("data_samples"),
+                     w2_live.get("data_samples") -
+                         w1_live.get("data_samples"));
+}
+
+TEST(StatKindRegistry, ResolvesPrefixedAndSuffixNestedNames)
+{
+    const StatKindRegistry &reg = StatKindRegistry::instance();
+
+    // Exact names resolve to their own declaration.
+    const StatDecl *d = reg.resolve("row_hit_rate");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->sem.kind, StatKind::Rate);
+
+    // addAll prefixes resolve at a '.' boundary: "dram.row_hit_rate"
+    // finds "row_hit_rate", and the embedded "hit_rate" declaration
+    // does NOT shadow it (the character before it is '_', not '.').
+    d = reg.resolve("dram.row_hit_rate");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(std::string(d->name), "row_hit_rate");
+
+    // The longest declared suffix wins: "garibaldi.helper.coverage"
+    // must find "helper.coverage" (Garibaldi's gated rate), not a
+    // bare "coverage" declaration.
+    d = reg.resolve("garibaldi.helper.coverage");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(std::string(d->name), "helper.coverage");
+    EXPECT_EQ(d->sem.kind, StatKind::Rate);
+
+    // Undeclared names resolve to nothing; windowing falls back to
+    // the quantile-suffix heuristic, everything else subtracts.
+    EXPECT_EQ(reg.resolve("no.such.stat"), nullptr);
+    EXPECT_EQ(reg.windowRule("no.such.stat"), WindowRule::Subtract);
+    EXPECT_EQ(reg.windowRule("no.such.stat_p95"),
+              WindowRule::KeepLast);
+
+    // Declared kinds drive the windowing rule.
+    EXPECT_EQ(reg.windowRule("threshold.threshold"),
+              WindowRule::KeepLast);
+    EXPECT_EQ(reg.windowRule("dram.reads"), WindowRule::Subtract);
+    EXPECT_EQ(reg.windowRule("dram.avg_queue_delay"),
+              WindowRule::Recompute);
 }
 
 TEST(LineFrequencyMonitor, CountsPerLineAndRatio)
